@@ -1,0 +1,121 @@
+//! The Bar-Yehuda–Even linear-time 2-approximation (the "pricing" /
+//! local-ratio algorithm, `[BYE81]` in the paper's references).
+//!
+//! Walk the edges once; on edge `(u,v)` raise its dual value by
+//! `δ = min(residual(u), residual(v))` and lower both residuals by `δ`;
+//! vertices whose residual hits zero join the cover. The dual values form
+//! a feasible fractional matching, so the cover — every edge loses one
+//! endpoint's residual — weighs at most `2·Σδ ≤ 2·OPT`.
+//!
+//! This is the sequential classic every parallel algorithm is measured
+//! against; it also provides the pricing lower bound used by the exact
+//! solver's pruning.
+
+use mwvc_core::{DualCertificate, VertexCover};
+use mwvc_graph::{EdgeIndex, WeightedGraph};
+
+/// Result of a Bar-Yehuda–Even run.
+#[derive(Debug, Clone)]
+pub struct PricingResult {
+    /// The 2-approximate cover.
+    pub cover: VertexCover,
+    /// The dual values per edge (a feasible fractional matching).
+    pub certificate: DualCertificate,
+}
+
+/// Runs the pricing algorithm, visiting edges in canonical edge-id order.
+pub fn bar_yehuda_even(wg: &WeightedGraph) -> PricingResult {
+    let eidx = EdgeIndex::build(&wg.graph);
+    let n = wg.num_vertices();
+    let mut residual: Vec<f64> = wg.weights.iter().collect();
+    let mut x = vec![0.0f64; eidx.num_edges()];
+    let mut tight = vec![false; n];
+    for (eid, e) in eidx.edges().iter().enumerate() {
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        if tight[u] || tight[v] {
+            continue;
+        }
+        let delta = residual[u].min(residual[v]);
+        x[eid] = delta;
+        residual[u] -= delta;
+        residual[v] -= delta;
+        if residual[u] <= 0.0 {
+            tight[u] = true;
+        }
+        if residual[v] <= 0.0 {
+            tight[v] = true;
+        }
+    }
+    let cover = VertexCover::from_membership(tight);
+    PricingResult {
+        cover,
+        certificate: DualCertificate::new(x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_mwvc;
+    use mwvc_graph::generators::{gnp, path, star};
+    use mwvc_graph::{VertexWeights, WeightModel};
+
+    #[test]
+    fn covers_and_two_approximates_small_instances() {
+        for seed in 0..6 {
+            let g = gnp(48, 0.12, seed);
+            let w = WeightModel::Uniform { lo: 1.0, hi: 7.0 }.sample(&g, seed);
+            let wg = WeightedGraph::new(g, w);
+            let res = bar_yehuda_even(&wg);
+            res.cover.verify(&wg.graph).expect("valid cover");
+            let opt = exact_mwvc(&wg).weight;
+            let weight = res.cover.weight(&wg);
+            assert!(
+                weight <= 2.0 * opt + 1e-9,
+                "seed {seed}: {weight} > 2 * {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_is_feasible_and_tight_against_cover() {
+        let g = gnp(100, 0.07, 9);
+        let w = WeightModel::Exponential { mean: 4.0 }.sample(&g, 2);
+        let wg = WeightedGraph::new(g, w);
+        let eidx = EdgeIndex::build(&wg.graph);
+        let res = bar_yehuda_even(&wg);
+        assert!(res.certificate.is_feasible(&wg, &eidx, 1e-9));
+        // The pricing argument: w(C) <= 2 * dual value.
+        assert!(res.cover.weight(&wg) <= 2.0 * res.certificate.value() + 1e-9);
+    }
+
+    #[test]
+    fn star_with_cheap_center() {
+        let g = star(8);
+        let mut w = vec![10.0; 8];
+        w[0] = 1.0;
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(w));
+        let res = bar_yehuda_even(&wg);
+        res.cover.verify(&wg.graph).unwrap();
+        // First edge drains the center: cover = {center} exactly.
+        assert_eq!(res.cover.vertices(), &[0]);
+    }
+
+    #[test]
+    fn path_alternation() {
+        let wg = WeightedGraph::unweighted(path(4));
+        let res = bar_yehuda_even(&wg);
+        res.cover.verify(&wg.graph).unwrap();
+        // Edge (0,1) drains both; edge (1,2) skipped; edge (2,3) drains both.
+        assert_eq!(res.cover.vertices(), &[0, 1, 2, 3]);
+        assert_eq!(res.certificate.value(), 2.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let wg = WeightedGraph::unweighted(mwvc_graph::Graph::empty(3));
+        let res = bar_yehuda_even(&wg);
+        assert_eq!(res.cover.size(), 0);
+        assert_eq!(res.certificate.value(), 0.0);
+    }
+}

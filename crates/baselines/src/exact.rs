@@ -1,0 +1,255 @@
+//! Exact minimum weight vertex cover by branch-and-bound.
+//!
+//! For ratio tables on small instances (`n ≤ 64`). Branching: pick the
+//! active vertex of maximum active degree `v`; either `v` joins the cover,
+//! or it does not and all its active neighbors must. Pruning: the
+//! Bar-Yehuda–Even pricing bound (a maximal dual packing) lower-bounds the
+//! cost of covering the remaining subgraph.
+
+use mwvc_graph::{VertexId, WeightedGraph};
+
+/// Result of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactResult {
+    /// Optimal cover weight.
+    pub weight: f64,
+    /// An optimal cover (ascending vertex ids).
+    pub cover: Vec<VertexId>,
+    /// Search-tree nodes explored.
+    pub nodes: u64,
+}
+
+/// Solves MWVC exactly. Panics if the graph has more than 64 vertices
+/// (the solver is bitmask-based by design — it exists to certify small
+/// instances, not to compete with the approximations).
+pub fn exact_mwvc(wg: &WeightedGraph) -> ExactResult {
+    let n = wg.num_vertices();
+    assert!(n <= 64, "exact solver is limited to 64 vertices, got {n}");
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            wg.graph
+                .neighbors(v as VertexId)
+                .iter()
+                .fold(0u64, |m, &u| m | (1u64 << u))
+        })
+        .collect();
+    let weights: Vec<f64> = wg.weights.iter().collect();
+    let all: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut solver = Solver {
+        adj: &adj,
+        weights: &weights,
+        best: f64::INFINITY,
+        best_cover: 0,
+        nodes: 0,
+    };
+    solver.branch(all, 0.0, 0);
+    let cover = (0..n as u32)
+        .filter(|&v| solver.best_cover & (1u64 << v) != 0)
+        .collect();
+    ExactResult {
+        weight: if solver.best.is_finite() { solver.best } else { 0.0 },
+        cover,
+        nodes: solver.nodes,
+    }
+}
+
+struct Solver<'a> {
+    adj: &'a [u64],
+    weights: &'a [f64],
+    best: f64,
+    best_cover: u64,
+    nodes: u64,
+}
+
+impl Solver<'_> {
+    fn branch(&mut self, active: u64, cost: f64, chosen: u64) {
+        self.nodes += 1;
+        // Find the active vertex with the largest active degree.
+        let mut pick = usize::MAX;
+        let mut pick_deg = 0u32;
+        let mut rest = active;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let deg = (self.adj[v] & active).count_ones();
+            if deg > pick_deg {
+                pick_deg = deg;
+                pick = v;
+            }
+        }
+        if pick == usize::MAX {
+            // No active edges remain: a complete cover.
+            if cost < self.best {
+                self.best = cost;
+                self.best_cover = chosen;
+            }
+            return;
+        }
+        // Prune with the pricing lower bound on the remaining subgraph.
+        if cost + self.pricing_bound(active) >= self.best {
+            return;
+        }
+        let v = pick;
+        let vbit = 1u64 << v;
+        // Branch 1: v in the cover.
+        self.branch(active & !vbit, cost + self.weights[v], chosen | vbit);
+        // Branch 2: v not in the cover → all active neighbors are.
+        let nbrs = self.adj[v] & active;
+        let mut add = 0.0;
+        let mut r = nbrs;
+        while r != 0 {
+            let u = r.trailing_zeros() as usize;
+            r &= r - 1;
+            add += self.weights[u];
+        }
+        if cost + add < self.best {
+            self.branch(active & !vbit & !nbrs, cost + add, chosen | nbrs);
+        }
+    }
+
+    /// Bar-Yehuda–Even pricing on the active subgraph: a feasible dual,
+    /// hence a lower bound on the optimal cover of that subgraph.
+    fn pricing_bound(&self, active: u64) -> f64 {
+        let n = self.adj.len();
+        let mut residual: Vec<f64> = (0..n)
+            .map(|v| {
+                if active & (1u64 << v) != 0 {
+                    self.weights[v]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut bound = 0.0;
+        for u in 0..n {
+            if active & (1u64 << u) == 0 {
+                continue;
+            }
+            let mut nbrs = self.adj[u] & active;
+            // Only count each edge once (u < v).
+            nbrs &= !((1u64 << u) | ((1u64 << u) - 1));
+            while nbrs != 0 {
+                let v = nbrs.trailing_zeros() as usize;
+                nbrs &= nbrs - 1;
+                let delta = residual[u].min(residual[v]);
+                if delta > 0.0 {
+                    residual[u] -= delta;
+                    residual[v] -= delta;
+                    bound += delta;
+                }
+                if residual[u] <= 0.0 {
+                    break;
+                }
+            }
+        }
+        bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::lp_optimum;
+    use mwvc_graph::generators::{clique, gnp, path, planted_cover, star};
+    use mwvc_graph::{Graph, VertexWeights};
+
+    fn is_cover(wg: &WeightedGraph, cover: &[VertexId]) -> bool {
+        let set: std::collections::HashSet<_> = cover.iter().copied().collect();
+        wg.graph
+            .edges()
+            .all(|e| set.contains(&e.u()) || set.contains(&e.v()))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let wg = WeightedGraph::unweighted(Graph::empty(5));
+        let r = exact_mwvc(&wg);
+        assert_eq!(r.weight, 0.0);
+        assert!(r.cover.is_empty());
+    }
+
+    #[test]
+    fn single_edge_picks_lighter_endpoint() {
+        let g = path(2);
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![3.0, 1.0]));
+        let r = exact_mwvc(&wg);
+        assert_eq!(r.cover, vec![1]);
+        assert_eq!(r.weight, 1.0);
+    }
+
+    #[test]
+    fn unweighted_classics() {
+        // K5: OPT = 4. Star(9): OPT = 1. P5 (4 edges): OPT = 2.
+        assert_eq!(exact_mwvc(&WeightedGraph::unweighted(clique(5))).weight, 4.0);
+        assert_eq!(exact_mwvc(&WeightedGraph::unweighted(star(9))).weight, 1.0);
+        assert_eq!(exact_mwvc(&WeightedGraph::unweighted(path(5))).weight, 2.0);
+    }
+
+    #[test]
+    fn weighted_star_prefers_heavy_center_leaves() {
+        // Heavy center, light leaves: cover with all leaves.
+        let g = star(5);
+        let wg = WeightedGraph::new(
+            g,
+            VertexWeights::from_vec(vec![100.0, 1.0, 1.0, 1.0, 1.0]),
+        );
+        let r = exact_mwvc(&wg);
+        assert_eq!(r.weight, 4.0);
+        assert_eq!(r.cover, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_planted_optimum() {
+        let inst = planted_cover(8, 2, 0.2, 5.0, 3);
+        assert!(inst.graph.num_vertices() <= 64);
+        let r = exact_mwvc(&inst.graph);
+        assert!(is_cover(&inst.graph, &r.cover));
+        assert!(
+            (r.weight - inst.opt_weight).abs() < 1e-9,
+            "exact {} vs planted {}",
+            r.weight,
+            inst.opt_weight
+        );
+    }
+
+    #[test]
+    fn sandwiched_by_lp_bound() {
+        for seed in 0..5 {
+            let g = gnp(40, 0.15, seed);
+            let w = mwvc_graph::WeightModel::Uniform { lo: 1.0, hi: 9.0 }.sample(&g, seed);
+            let wg = WeightedGraph::new(g, w);
+            let r = exact_mwvc(&wg);
+            assert!(is_cover(&wg, &r.cover));
+            let lp = lp_optimum(&wg);
+            assert!(
+                lp.value <= r.weight + 1e-6,
+                "LP {} must lower-bound OPT {}",
+                lp.value,
+                r.weight
+            );
+            assert!(
+                r.weight <= 2.0 * lp.value + 1e-6,
+                "OPT {} must be within twice LP {}",
+                r.weight,
+                lp.value
+            );
+        }
+    }
+
+    #[test]
+    fn cover_weight_matches_members() {
+        let g = gnp(30, 0.2, 9);
+        let w = mwvc_graph::WeightModel::Exponential { mean: 2.0 }.sample(&g, 9);
+        let wg = WeightedGraph::new(g, w);
+        let r = exact_mwvc(&wg);
+        let sum: f64 = r.cover.iter().map(|&v| wg.weights[v]).sum();
+        assert!((sum - r.weight).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 vertices")]
+    fn oversized_instance_rejected() {
+        let wg = WeightedGraph::unweighted(Graph::empty(65));
+        let _ = exact_mwvc(&wg);
+    }
+}

@@ -1,0 +1,172 @@
+//! Greedy heuristics: what practitioners reach for first.
+//!
+//! * [`greedy_ratio_cover`] — repeatedly take the vertex minimizing
+//!   `w(v) / (active degree)`. The natural weighted greedy; its
+//!   approximation factor is `Θ(log n)` in the worst case (it is the
+//!   set-cover greedy specialized to edges), but it is often strong in
+//!   practice — which is exactly why the E08 table includes it next to
+//!   the certified `2+ε` algorithms.
+//! * [`matching_cover`] — take both endpoints of a greedily built maximal
+//!   matching: the textbook unweighted 2-approximation (a weighted
+//!   guarantee does *not* hold; included as the unweighted baseline the
+//!   paper's `w ≡ 1` case reduces to).
+
+use mwvc_core::VertexCover;
+use mwvc_graph::{VertexId, WeightedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weighted greedy by best weight-per-covered-edge ratio, lazy-deletion
+/// heap, `O(m log n)`.
+pub fn greedy_ratio_cover(wg: &WeightedGraph) -> VertexCover {
+    let g = &wg.graph;
+    let n = g.num_vertices();
+    let mut active_deg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let mut in_cover = vec![false; n];
+    let mut covered = vec![false; n]; // vertex removed from the active graph
+    let mut remaining_edges = g.num_edges();
+    // Heap of (ratio, vertex, degree-at-push); lazily invalidated.
+    let mut heap: BinaryHeap<(Reverse<OrdF64>, VertexId, usize)> = g
+        .vertices()
+        .filter(|&v| active_deg[v as usize] > 0)
+        .map(|v| {
+            (
+                Reverse(OrdF64(wg.weights[v] / active_deg[v as usize] as f64)),
+                v,
+                active_deg[v as usize],
+            )
+        })
+        .collect();
+    while remaining_edges > 0 {
+        let (_, v, deg_at_push) = heap.pop().expect("edges remain, so does a candidate");
+        let vu = v as usize;
+        if covered[vu] || active_deg[vu] == 0 {
+            continue;
+        }
+        if active_deg[vu] != deg_at_push {
+            // Stale entry: re-push with the current ratio.
+            heap.push((
+                Reverse(OrdF64(wg.weights[v] / active_deg[vu] as f64)),
+                v,
+                active_deg[vu],
+            ));
+            continue;
+        }
+        in_cover[vu] = true;
+        covered[vu] = true;
+        remaining_edges -= active_deg[vu];
+        for &u in g.neighbors(v) {
+            let uu = u as usize;
+            if !covered[uu] && active_deg[uu] > 0 {
+                active_deg[uu] -= 1;
+            }
+        }
+        active_deg[vu] = 0;
+    }
+    VertexCover::from_membership(in_cover)
+}
+
+/// Both endpoints of a greedy maximal matching (edges visited in canonical
+/// order): a 2-approximation for the *unweighted* problem.
+pub fn matching_cover(wg: &WeightedGraph) -> VertexCover {
+    let g = &wg.graph;
+    let mut matched = vec![false; g.num_vertices()];
+    for e in g.edges() {
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        if !matched[u] && !matched[v] {
+            matched[u] = true;
+            matched[v] = true;
+        }
+    }
+    VertexCover::from_membership(matched)
+}
+
+/// Total-order wrapper for finite f64 heap keys.
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite ratios only")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_mwvc;
+    use mwvc_graph::generators::{clique, gnp, path, star};
+    use mwvc_graph::{Graph, VertexWeights, WeightModel};
+
+    #[test]
+    fn greedy_takes_star_center() {
+        let wg = WeightedGraph::unweighted(star(12));
+        let c = greedy_ratio_cover(&wg);
+        assert_eq!(c.vertices(), &[0]);
+    }
+
+    #[test]
+    fn greedy_avoids_expensive_center_when_justified() {
+        let g = star(4);
+        let wg = WeightedGraph::new(
+            g,
+            VertexWeights::from_vec(vec![30.0, 1.0, 1.0, 1.0]),
+        );
+        let c = greedy_ratio_cover(&wg);
+        c.verify(&wg.graph).unwrap();
+        // center ratio 30/3 = 10 > leaf ratio 1: leaves win.
+        assert_eq!(c.vertices(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn greedy_always_covers() {
+        for seed in 0..5 {
+            let g = gnp(150, 0.05, seed);
+            let w = WeightModel::Zipf { exponent: 1.1, scale: 20.0 }.sample(&g, seed);
+            let wg = WeightedGraph::new(g, w);
+            let c = greedy_ratio_cover(&wg);
+            c.verify(&wg.graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_close_to_optimal_on_small_instances() {
+        for seed in 0..4 {
+            let g = gnp(36, 0.15, seed);
+            let w = WeightModel::Uniform { lo: 1.0, hi: 4.0 }.sample(&g, seed);
+            let wg = WeightedGraph::new(g, w);
+            let c = greedy_ratio_cover(&wg);
+            let opt = exact_mwvc(&wg).weight;
+            // ln(n)-ish worst case, but on these instances it stays close.
+            assert!(c.weight(&wg) <= 2.5 * opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn matching_cover_is_unweighted_two_approx() {
+        for (g, opt) in [(clique(6), 5.0), (path(7), 3.0), (star(9), 1.0)] {
+            let wg = WeightedGraph::unweighted(g);
+            let c = matching_cover(&wg);
+            c.verify(&wg.graph).unwrap();
+            assert!(c.size() as f64 <= 2.0 * opt);
+        }
+    }
+
+    #[test]
+    fn matching_cover_has_even_size() {
+        let wg = WeightedGraph::unweighted(gnp(100, 0.08, 3));
+        let c = matching_cover(&wg);
+        c.verify(&wg.graph).unwrap();
+        assert_eq!(c.size() % 2, 0, "pairs of matched endpoints");
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let wg = WeightedGraph::unweighted(Graph::empty(5));
+        assert_eq!(greedy_ratio_cover(&wg).size(), 0);
+        assert_eq!(matching_cover(&wg).size(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! `mwvc-baselines` — every comparison point the reproduction measures
+//! Ghaffari–Jin–Nilis's algorithm against, plus the exact machinery that
+//! certifies approximation ratios:
+//!
+//! * [`exact`] — branch-and-bound optimum for `n ≤ 64`,
+//! * [`lp`] — the exact LP relaxation optimum at any scale
+//!   (Nemhauser–Trotter bipartite reduction on top of [`dinic`] max-flow):
+//!   `LP* ≤ OPT ≤ 2·LP*`,
+//! * [`mod@bar_yehuda_even`] — the classic linear-time 2-approximation,
+//! * [`greedy`] — ratio greedy and maximal-matching covers,
+//! * [`local_model`] — the pre-paper `O(log n)`-rounds LOCAL/PRAM
+//!   baseline (one primal-dual iteration per MPC round).
+//!
+//! [`run_algorithm`] exposes all of them (and the paper's algorithms from
+//! `mwvc-core`) behind one enum for the benchmark harness.
+
+pub mod bar_yehuda_even;
+pub mod clarkson;
+pub mod dinic;
+pub mod exact;
+pub mod greedy;
+pub mod local_model;
+pub mod lp;
+
+pub use bar_yehuda_even::{bar_yehuda_even, PricingResult};
+pub use clarkson::clarkson_cover;
+pub use exact::{exact_mwvc, ExactResult};
+pub use greedy::{greedy_ratio_cover, matching_cover};
+pub use local_model::{local_baseline, LocalBaselineResult};
+pub use lp::{lp_optimum, LpBound};
+
+use mwvc_core::mpc::MpcMwvcConfig;
+use mwvc_core::{InitScheme, VertexCover};
+use mwvc_graph::WeightedGraph;
+
+/// Every cover-producing algorithm in the workspace, behind one switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Algorithm 2 (this paper), reference executor, given config.
+    MpcRoundCompression(MpcMwvcConfig),
+    /// Algorithm 1 run centrally (`(2+10ε)`-approx).
+    Centralized { epsilon: f64, seed: u64 },
+    /// The `O(log n)`-rounds LOCAL baseline.
+    LocalBaseline { epsilon: f64, seed: u64 },
+    /// Bar-Yehuda–Even pricing.
+    BarYehudaEven,
+    /// Weighted ratio greedy.
+    Greedy,
+    /// Clarkson's modified greedy (2-approx with the charging fix).
+    Clarkson,
+    /// Maximal-matching 2-approx (unweighted guarantee only).
+    MatchingCover,
+    /// LP relaxation rounded up (`≤ 2·LP*`).
+    LpRounding,
+    /// Exact branch-and-bound (small instances only).
+    Exact,
+}
+
+/// Uniform result row for the comparison tables.
+#[derive(Debug, Clone)]
+pub struct AlgorithmRun {
+    /// Short name for table output.
+    pub name: &'static str,
+    /// The cover produced.
+    pub cover: VertexCover,
+    /// Cover weight.
+    pub weight: f64,
+    /// Rounds consumed in the MPC cost model, when the algorithm is an
+    /// MPC algorithm (`None` for sequential ones).
+    pub mpc_rounds: Option<usize>,
+    /// A certified lower bound on OPT produced by the algorithm itself
+    /// (dual value), when available.
+    pub self_lower_bound: Option<f64>,
+}
+
+/// Runs `algorithm` on `instance`.
+pub fn run_algorithm(instance: &WeightedGraph, algorithm: Algorithm) -> AlgorithmRun {
+    match algorithm {
+        Algorithm::MpcRoundCompression(cfg) => {
+            let res = mwvc_core::mpc::run_reference(instance, &cfg);
+            let eidx = mwvc_graph::EdgeIndex::build(&instance.graph);
+            let lb = res.certificate.lower_bound(instance, &eidx);
+            let rounds = res.mpc_rounds();
+            AlgorithmRun {
+                name: "mpc-compress",
+                weight: res.cover.weight(instance),
+                cover: res.cover,
+                mpc_rounds: Some(rounds),
+                self_lower_bound: Some(lb),
+            }
+        }
+        Algorithm::Centralized { epsilon, seed } => {
+            let res = mwvc_core::solve_centralized(instance, epsilon, seed);
+            AlgorithmRun {
+                name: "centralized",
+                weight: res.cover.weight(instance),
+                cover: res.cover,
+                mpc_rounds: None,
+                self_lower_bound: Some(res.certificate.value()),
+            }
+        }
+        Algorithm::LocalBaseline { epsilon, seed } => {
+            let res = local_baseline(instance, epsilon, InitScheme::DegreeWeighted, seed);
+            AlgorithmRun {
+                name: "local-baseline",
+                weight: res.run.cover.weight(instance),
+                cover: res.run.cover,
+                mpc_rounds: Some(res.mpc_rounds),
+                self_lower_bound: Some(res.run.certificate.value()),
+            }
+        }
+        Algorithm::BarYehudaEven => {
+            let res = bar_yehuda_even(instance);
+            AlgorithmRun {
+                name: "bar-yehuda-even",
+                weight: res.cover.weight(instance),
+                cover: res.cover,
+                mpc_rounds: None,
+                self_lower_bound: Some(res.certificate.value()),
+            }
+        }
+        Algorithm::Greedy => {
+            let cover = greedy_ratio_cover(instance);
+            AlgorithmRun {
+                name: "greedy",
+                weight: cover.weight(instance),
+                cover,
+                mpc_rounds: None,
+                self_lower_bound: None,
+            }
+        }
+        Algorithm::Clarkson => {
+            let cover = clarkson_cover(instance);
+            AlgorithmRun {
+                name: "clarkson",
+                weight: cover.weight(instance),
+                cover,
+                mpc_rounds: None,
+                self_lower_bound: None,
+            }
+        }
+        Algorithm::MatchingCover => {
+            let cover = matching_cover(instance);
+            AlgorithmRun {
+                name: "matching-2approx",
+                weight: cover.weight(instance),
+                cover,
+                mpc_rounds: None,
+                self_lower_bound: None,
+            }
+        }
+        Algorithm::LpRounding => {
+            let lp = lp_optimum(instance);
+            let cover = VertexCover::new(instance.num_vertices(), lp.rounded_cover());
+            AlgorithmRun {
+                name: "lp-rounding",
+                weight: cover.weight(instance),
+                cover,
+                mpc_rounds: None,
+                self_lower_bound: Some(lp.value),
+            }
+        }
+        Algorithm::Exact => {
+            let res = exact_mwvc(instance);
+            let cover = VertexCover::new(instance.num_vertices(), res.cover);
+            AlgorithmRun {
+                name: "exact",
+                weight: res.weight,
+                cover,
+                mpc_rounds: None,
+                self_lower_bound: Some(res.weight),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwvc_graph::generators::gnp;
+    use mwvc_graph::WeightModel;
+
+    #[test]
+    fn every_algorithm_produces_a_valid_cover() {
+        let g = gnp(40, 0.15, 5);
+        let w = WeightModel::Uniform { lo: 1.0, hi: 6.0 }.sample(&g, 5);
+        let wg = WeightedGraph::new(g, w);
+        let algorithms = [
+            Algorithm::MpcRoundCompression(MpcMwvcConfig::practical(0.1, 3)),
+            Algorithm::Centralized { epsilon: 0.1, seed: 3 },
+            Algorithm::LocalBaseline { epsilon: 0.1, seed: 3 },
+            Algorithm::BarYehudaEven,
+            Algorithm::Greedy,
+            Algorithm::Clarkson,
+            Algorithm::MatchingCover,
+            Algorithm::LpRounding,
+            Algorithm::Exact,
+        ];
+        let opt = exact_mwvc(&wg).weight;
+        for alg in algorithms {
+            let run = run_algorithm(&wg, alg);
+            run.cover
+                .verify(&wg.graph)
+                .unwrap_or_else(|e| panic!("{}: uncovered edge {e:?}", run.name));
+            assert!(
+                run.weight >= opt - 1e-9,
+                "{} beat the optimum?!",
+                run.name
+            );
+            if let Some(lb) = run.self_lower_bound {
+                assert!(lb <= opt + 1e-6, "{}: bogus lower bound {lb} > OPT {opt}", run.name);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_run_weight_is_opt() {
+        let g = gnp(30, 0.2, 7);
+        let wg = WeightedGraph::unweighted(g);
+        let run = run_algorithm(&wg, Algorithm::Exact);
+        assert_eq!(run.self_lower_bound, Some(run.weight));
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench: baseline algorithms — the wall-clock companion to
+//! experiment E08.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mwvc_baselines::{bar_yehuda_even, clarkson_cover, greedy_ratio_cover, matching_cover};
+use mwvc_bench::workloads::er_instance;
+use mwvc_graph::WeightModel;
+
+fn bench_baselines(c: &mut Criterion) {
+    let wg = er_instance(20_000, 64, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 7);
+    let mut group = c.benchmark_group("baselines");
+    group.throughput(Throughput::Elements(wg.num_edges() as u64));
+    group.bench_function("bar_yehuda_even", |b| b.iter(|| bar_yehuda_even(&wg)));
+    group.bench_function("greedy_ratio", |b| b.iter(|| greedy_ratio_cover(&wg)));
+    group.bench_function("clarkson", |b| b.iter(|| clarkson_cover(&wg)));
+    group.bench_function("matching_cover", |b| b.iter(|| matching_cover(&wg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: Algorithm 1 (centralized) across densities and
+//! initialization schemes — the wall-clock companion to experiment E02.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwvc_bench::workloads::er_instance;
+use mwvc_core::{run_centralized, CentralizedParams, InitScheme, ThresholdScheme};
+use mwvc_graph::WeightModel;
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized");
+    for &d in &[16usize, 64, 256] {
+        let wg = er_instance(10_000, d, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 3);
+        group.throughput(Throughput::Elements(wg.num_edges() as u64));
+        for init in [InitScheme::DegreeWeighted, InitScheme::Uniform] {
+            group.bench_with_input(
+                BenchmarkId::new(init.label().replace('/', "-"), d),
+                &wg,
+                |b, wg| {
+                    b.iter(|| {
+                        run_centralized(
+                            wg,
+                            CentralizedParams::new(0.1),
+                            init,
+                            ThresholdScheme::UniformRandom,
+                            7,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: the message-passing executor, including routing and
+//! accounting overhead — the wall-clock companion to experiment E11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwvc_bench::workloads::er_instance;
+use mwvc_core::mpc::distributed::{recommended_cluster, run_distributed};
+use mwvc_core::mpc::MpcMwvcConfig;
+use mwvc_graph::WeightModel;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_distributed");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let wg = er_instance(n, 32, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 9);
+        let cfg = MpcMwvcConfig::practical(0.1, 13);
+        let cluster = recommended_cluster(&wg, &cfg);
+        group.throughput(Throughput::Elements(wg.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("full_run", n), &wg, |b, wg| {
+            b.iter(|| run_distributed(wg, &cfg, cluster))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: workload generators (they must never dominate
+//! experiment runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwvc_graph::generators::{chung_lu, gnm, gnp, rmat, RmatParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let n = 100_000usize;
+    let m = 1_600_000usize;
+    group.throughput(Throughput::Elements(m as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("gnp", n), |b| {
+        let p = 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0));
+        b.iter(|| gnp(n, p, 3))
+    });
+    group.bench_function(BenchmarkId::new("gnm", n), |b| b.iter(|| gnm(n, m, 3)));
+    group.bench_function(BenchmarkId::new("chung_lu", n), |b| {
+        b.iter(|| chung_lu(n, 2.3, 32.0, 3))
+    });
+    group.bench_function(BenchmarkId::new("rmat", 1 << 17), |b| {
+        b.iter(|| rmat(17, 12, RmatParams::default(), 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the certification machinery (LP bound via Dinic,
+//! exact branch-and-bound) — it must stay fast enough to sit inside every
+//! quality experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwvc_baselines::{exact_mwvc, lp_optimum};
+use mwvc_bench::workloads::er_instance;
+use mwvc_graph::generators::gnp;
+use mwvc_graph::{WeightModel, WeightedGraph};
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_optimum");
+    group.sample_size(10);
+    for &(n, d) in &[(2_000usize, 16usize), (10_000, 32)] {
+        let wg = er_instance(n, d, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 3);
+        group.bench_with_input(BenchmarkId::new("dinic", format!("n{n}_d{d}")), &wg, |b, wg| {
+            b.iter(|| lp_optimum(wg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bnb");
+    for &n in &[30usize, 45] {
+        let g = gnp(n, 0.15, 5);
+        let w = WeightModel::Uniform { lo: 1.0, hi: 9.0 }.sample(&g, 5);
+        let wg = WeightedGraph::new(g, w);
+        group.bench_with_input(BenchmarkId::new("gnp015", n), &wg, |b, wg| {
+            b.iter(|| exact_mwvc(wg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_exact);
+criterion_main!(benches);

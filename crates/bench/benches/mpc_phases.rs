@@ -1,0 +1,24 @@
+//! Criterion bench: Algorithm 2 (reference executor) across densities —
+//! the wall-clock companion to experiment E01.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwvc_bench::workloads::er_instance;
+use mwvc_core::mpc::{run_reference, MpcMwvcConfig};
+use mwvc_graph::WeightModel;
+
+fn bench_mpc_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_reference");
+    group.sample_size(10);
+    for &d in &[32usize, 128, 512] {
+        let wg = er_instance(10_000, d, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 5);
+        group.throughput(Throughput::Elements(wg.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("practical", d), &wg, |b, wg| {
+            let cfg = MpcMwvcConfig::practical(0.1, 11);
+            b.iter(|| run_reference(wg, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpc_phases);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! CLI entry point regenerating every experiment table.
+//!
+//! ```text
+//! experiments all                 # run the full suite
+//! experiments e01 e05             # run selected experiments
+//! experiments all --csv out/      # also write one CSV per table
+//! ```
+
+use mwvc_bench::experiments;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage("no experiments selected");
+    }
+    let registry = experiments::all();
+    let selected: Vec<_> = if ids.iter().any(|i| i == "all") {
+        registry
+    } else {
+        let known: Vec<&str> = registry.iter().map(|(id, _)| *id).collect();
+        for id in &ids {
+            if !known.contains(&id.as_str()) {
+                usage(&format!("unknown experiment {id:?}; known: {known:?} or 'all'"));
+            }
+        }
+        registry
+            .into_iter()
+            .filter(|(id, _)| ids.iter().any(|want| want == id))
+            .collect()
+    };
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+    for (id, run) in selected {
+        let start = Instant::now();
+        eprintln!("[{id}] running...");
+        let tables = run();
+        for (k, table) in tables.iter().enumerate() {
+            print!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{id}_{k}.csv");
+                std::fs::write(&path, table.to_csv()).expect("write csv");
+                eprintln!("[{id}] wrote {path}");
+            }
+        }
+        eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
+        let _ = std::io::stdout().flush();
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: experiments <e01..e13 | all>... [--csv DIR]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

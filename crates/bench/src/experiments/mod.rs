@@ -1,0 +1,52 @@
+//! Experiment drivers, one per quantitative claim of the paper (the
+//! mapping is DESIGN.md's experiment index; measured outcomes are
+//! recorded in EXPERIMENTS.md).
+
+mod coupled;
+mod model;
+mod quality;
+mod rounds;
+
+pub use coupled::{e06_deviations, e07_bad_vertices, e12_threshold_ablation, e13_bias_ablation};
+pub use model::{e04_machine_memory, e05_edge_shrink, e11_model_audit};
+pub use quality::{e03_approx_ratio, e08_algorithm_comparison, e10_weight_robustness};
+pub use rounds::{e01_rounds_vs_degree, e02_centralized_iterations, e09_init_comparison};
+
+use crate::Table;
+
+/// An experiment driver: produces one or more tables.
+pub type Driver = fn() -> Vec<Table>;
+
+/// All experiments by id.
+pub fn all() -> Vec<(&'static str, Driver)> {
+    vec![
+        ("e01", e01_rounds_vs_degree as Driver),
+        ("e02", e02_centralized_iterations),
+        ("e03", e03_approx_ratio),
+        ("e04", e04_machine_memory),
+        ("e05", e05_edge_shrink),
+        ("e06", e06_deviations),
+        ("e07", e07_bad_vertices),
+        ("e08", e08_algorithm_comparison),
+        ("e09", e09_init_comparison),
+        ("e10", e10_weight_robustness),
+        ("e11", e11_model_audit),
+        ("e12", e12_threshold_ablation),
+        ("e13", e13_bias_ablation),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 13);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 13);
+        assert_eq!(ids[0], "e01");
+        assert_eq!(ids[12], "e13");
+    }
+}

@@ -1,0 +1,21 @@
+//! `mwvc-bench` — the experiment harness of the reproduction.
+//!
+//! The paper is a theory contribution with no empirical section, so the
+//! "tables and figures" this crate regenerates are the paper's
+//! quantitative *claims*, one experiment per theorem/lemma (the full
+//! mapping is the experiment index in `DESIGN.md`, results in
+//! `EXPERIMENTS.md`). Run them all with:
+//!
+//! ```text
+//! cargo run --release -p mwvc-bench --bin experiments -- all
+//! ```
+//!
+//! or a single one with e.g. `-- e01`. Each experiment prints an aligned
+//! text table (and can emit CSV) whose shape mirrors the claim being
+//! tested.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,135 @@
+//! Aligned text tables (with CSV export) for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            let mut s = String::from("  ");
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(s, "{cell:>width$}  ");
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols + 2;
+        let _ = writeln!(out, "  {}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.push(vec!["1".into(), "2".into(), "3".into()]);
+        t.push(vec!["100".into(), "2000".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, 2 rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a,b", "c"]);
+        t.push(vec!["va\"l".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"va\"\"l\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(2.0, 0), "2");
+    }
+}

@@ -1,0 +1,133 @@
+//! Named instance families shared by the experiments.
+
+use mwvc_graph::generators::{chung_lu, gnm, planted_cover, rmat, star_composite, RmatParams};
+use mwvc_graph::{WeightModel, WeightedGraph};
+
+/// An Erdős–Rényi instance with exactly average degree `d` and the given
+/// weight model.
+pub fn er_instance(n: usize, d: usize, model: WeightModel, seed: u64) -> WeightedGraph {
+    let g = gnm(n, n * d / 2, seed);
+    let w = model.sample(&g, seed ^ 0xabcd);
+    WeightedGraph::new(g, w)
+}
+
+/// A Chung–Lu power-law instance (`β = 2.3`).
+pub fn power_law_instance(n: usize, d: f64, model: WeightModel, seed: u64) -> WeightedGraph {
+    let g = chung_lu(n, 2.3, d, seed);
+    let w = model.sample(&g, seed ^ 0xbeef);
+    WeightedGraph::new(g, w)
+}
+
+/// An R-MAT instance (Graph500-style skew).
+pub fn rmat_instance(scale: u32, edge_factor: usize, model: WeightModel, seed: u64) -> WeightedGraph {
+    let g = rmat(scale, edge_factor, RmatParams::default(), seed);
+    let w = model.sample(&g, seed ^ 0xfeed);
+    WeightedGraph::new(g, w)
+}
+
+/// A hub-skewed instance where `Δ/d` is tunable: hubs with private leaves
+/// over Erdős–Rényi background noise.
+pub fn skewed_instance(
+    hubs: usize,
+    leaves_per_hub: usize,
+    background_p: f64,
+    model: WeightModel,
+    seed: u64,
+) -> WeightedGraph {
+    let g = star_composite(hubs, leaves_per_hub, background_p, seed);
+    let w = model.sample(&g, seed ^ 0x051e_d00d);
+    WeightedGraph::new(g, w)
+}
+
+/// A planted instance wrapped with its known optimum.
+pub fn planted_instance(hubs: usize, seed: u64) -> (WeightedGraph, f64) {
+    let inst = planted_cover(hubs, 3, 0.1, 10.0, seed);
+    (inst.graph, inst.opt_weight)
+}
+
+/// The decision-boundary instance of experiment E12: a random-regular
+/// "core" (degree `core_deg`, weight `core_weight`) where every core
+/// vertex also carries `leaves` private leaves of tiny weight `leaf_w`.
+///
+/// Inside a phase the induced `V^high` subgraph is exactly the core, and
+/// every core vertex follows the *same* dual trajectory
+/// `y_t/w = (core_deg / d(v)) · (1-ε)^{-t}` (the leaves only dilute the
+/// initialization denominator `d(v) = core_deg + leaves`), so the whole
+/// population sweeps the freeze-threshold window together — the
+/// boundary-crowding situation the paper's random thresholds defend
+/// against.
+pub fn boundary_instance(
+    core: usize,
+    core_deg: usize,
+    leaves: usize,
+    leaf_w: f64,
+    core_weight: f64,
+    seed: u64,
+) -> WeightedGraph {
+    use mwvc_graph::{GraphBuilder, VertexWeights};
+    let core_graph = mwvc_graph::generators::random_regular(core, core_deg, seed);
+    let n = core + core * leaves;
+    let mut b = GraphBuilder::new(n);
+    for e in core_graph.edges() {
+        b.add_edge(e.u(), e.v());
+    }
+    for c in 0..core {
+        for l in 0..leaves {
+            b.add_edge(c as u32, (core + c * leaves + l) as u32);
+        }
+    }
+    let mut w = vec![leaf_w; n];
+    for x in w.iter_mut().take(core) {
+        *x = core_weight;
+    }
+    WeightedGraph::new(b.build(), VertexWeights::from_vec(w))
+}
+
+/// The weight models exercised by the robustness experiments.
+pub fn weight_models() -> Vec<(&'static str, WeightModel)> {
+    vec![
+        ("constant", WeightModel::Constant(1.0)),
+        ("uniform", WeightModel::Uniform { lo: 1.0, hi: 10.0 }),
+        ("exponential", WeightModel::Exponential { mean: 5.0 }),
+        ("zipf", WeightModel::Zipf { exponent: 1.2, scale: 100.0 }),
+        (
+            "deg-prop",
+            WeightModel::DegreeProportional { base: 1.0, slope: 0.5 },
+        ),
+        ("deg-inv", WeightModel::DegreeInverse { scale: 50.0 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_instance_has_requested_degree() {
+        let wg = er_instance(1000, 16, WeightModel::Constant(1.0), 3);
+        assert_eq!(wg.num_edges(), 8000);
+    }
+
+    #[test]
+    fn skewed_instance_has_high_skew() {
+        let wg = skewed_instance(8, 500, 0.0005, WeightModel::Constant(1.0), 5);
+        let stats = mwvc_graph::stats::DegreeStats::of(&wg.graph);
+        assert!(stats.skew() > 20.0, "skew = {}", stats.skew());
+    }
+
+    #[test]
+    fn planted_instance_reports_opt() {
+        let (wg, opt) = planted_instance(50, 7);
+        assert!(opt > 0.0);
+        assert!(wg.num_vertices() == 50 * 4);
+    }
+
+    #[test]
+    fn weight_models_all_sample() {
+        let wg = er_instance(100, 8, WeightModel::Constant(1.0), 1);
+        for (name, model) in weight_models() {
+            let w = model.sample(&wg.graph, 2);
+            assert!(w.iter().all(|x| x > 0.0), "{name} produced nonpositive weight");
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Algorithm 1: the generic centralized primal-dual MWVC algorithm.
+//!
+//! ```text
+//! 1. Input: graph G = (V,E), weight function w : V → R+
+//! 2. Initialization: {x_{e,0}} an arbitrary valid fractional matching
+//! 3. T_{v,t} arbitrary numbers in [1-4ε, 1-2ε]
+//! 4. While at least one edge is active, iterate t = 0, 1, ...:
+//!    (a) for each active vertex v with y_{v,t} = Σ_{e∋v} x_{e,t} ≥ T_{v,t}·w(v):
+//!        freeze v and its incident edges
+//!    (b) for each active edge: x_{e,t+1} = x_{e,t} / (1-ε)
+//!    (c) for each frozen edge: x_{e,t+1} = x_{e,t}
+//! 5. Return all frozen vertices as a vertex cover
+//! ```
+//!
+//! Guarantees (proved in the paper, asserted in this crate's tests):
+//! * the `{x_e}` remain a valid fractional matching throughout
+//!   (Observation 3.1),
+//! * the returned set is a vertex cover of weight `≤ (2+10ε)·OPT`
+//!   (Proposition 3.3),
+//! * with the degree-weighted initialization the loop runs `O(log Δ)`
+//!   iterations (Proposition 3.4).
+//!
+//! The implementation is `O(n·T + m)` for `T` iterations: active edges all
+//! grow by the same factor per iteration, so each vertex's active incident
+//! weight is maintained as `(initial sum) · (1-ε)^{-t}` and only freezing
+//! does per-edge work.
+
+use crate::certificate::DualCertificate;
+use crate::cover::VertexCover;
+use crate::init::InitScheme;
+use crate::thresholds::ThresholdScheme;
+use mwvc_graph::{EdgeIndex, Graph, VertexId, WeightedGraph};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a centralized run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CentralizedParams {
+    /// The accuracy parameter `ε ∈ (0, 1/4)`; the cover is
+    /// `(2+10ε)`-approximate.
+    pub epsilon: f64,
+    /// Safety cap on iterations (the algorithm terminates on its own; this
+    /// guards pathological custom initializations).
+    pub max_iterations: usize,
+}
+
+impl CentralizedParams {
+    /// Standard parameters for a given epsilon.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.25,
+            "epsilon must lie in (0, 1/4), got {epsilon}"
+        );
+        Self {
+            epsilon,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Per-iteration progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Vertices frozen in this iteration.
+    pub newly_frozen_vertices: usize,
+    /// Edges frozen in this iteration.
+    pub newly_frozen_edges: usize,
+    /// Active edges remaining after the iteration.
+    pub active_edges: usize,
+}
+
+/// Output of a centralized run.
+#[derive(Debug, Clone)]
+pub struct CentralizedResult {
+    /// The frozen vertices (a vertex cover when the loop ran to
+    /// completion).
+    pub cover: VertexCover,
+    /// Final dual values `x_e` — a valid fractional matching.
+    pub certificate: DualCertificate,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Per-vertex freeze iteration (`None` = never frozen).
+    pub freeze_iteration: Vec<Option<u32>>,
+    /// Per-edge freeze iteration (`None` = never frozen; impossible after
+    /// normal termination).
+    pub edge_freeze_iteration: Vec<Option<u32>>,
+    /// Per-iteration progress.
+    pub trace: Vec<IterationRecord>,
+}
+
+/// Runs Algorithm 1 on a weighted graph with a named initialization and
+/// threshold scheme. `seed` feeds the random thresholds.
+pub fn run_centralized(
+    wg: &WeightedGraph,
+    params: CentralizedParams,
+    init: InitScheme,
+    thresholds: ThresholdScheme,
+    seed: u64,
+) -> CentralizedResult {
+    let eidx = EdgeIndex::build(&wg.graph);
+    let degrees: Vec<usize> = wg.graph.vertices().map(|v| wg.graph.degree(v)).collect();
+    let x0 = init.initial_values(&wg.graph, &eidx, wg.weights.as_slice(), &degrees);
+    let eps = params.epsilon;
+    run_centralized_raw(
+        &wg.graph,
+        &eidx,
+        wg.weights.as_slice(),
+        x0,
+        params,
+        |v, t| thresholds.threshold(eps, seed, u64::MAX, v, t),
+    )
+}
+
+/// Runs Algorithm 1 with explicit initial dual values and an arbitrary
+/// threshold function `T(v, t)`. This is the entry point the MPC layers
+/// use (residual weights, per-phase thresholds, induced subgraphs).
+pub fn run_centralized_raw(
+    graph: &Graph,
+    eidx: &EdgeIndex,
+    weights: &[f64],
+    x0: Vec<f64>,
+    params: CentralizedParams,
+    threshold: impl Fn(VertexId, u32) -> f64,
+) -> CentralizedResult {
+    let n = graph.num_vertices();
+    let m = eidx.num_edges();
+    assert_eq!(weights.len(), n);
+    assert_eq!(x0.len(), m);
+    let growth = 1.0 / (1.0 - params.epsilon);
+
+    // Per-vertex state: frozen incident weight, initial active incident
+    // weight (the active part at iteration t is active_sum0 * growth^t).
+    let mut frozen_sum = vec![0.0f64; n];
+    let mut active_sum0 = vec![0.0f64; n];
+    for (eid, &x) in x0.iter().enumerate() {
+        let e = eidx.edge(eid as u32);
+        active_sum0[e.u() as usize] += x;
+        active_sum0[e.v() as usize] += x;
+    }
+
+    let mut vertex_active = vec![true; n];
+    let mut freeze_iteration: Vec<Option<u32>> = vec![None; n];
+    let mut edge_freeze: Vec<Option<u32>> = vec![None; m];
+    let mut cover_members: Vec<VertexId> = Vec::new();
+    let mut active_edges = m;
+    let mut trace = Vec::new();
+
+    let mut growth_t = 1.0f64; // growth^t
+    let mut t: u32 = 0;
+    while active_edges > 0 && (t as usize) < params.max_iterations {
+        // (4a) Simultaneous freeze test against the state at time t.
+        let mut to_freeze: Vec<VertexId> = Vec::new();
+        for v in 0..n {
+            if !vertex_active[v] {
+                continue;
+            }
+            let y = frozen_sum[v] + active_sum0[v] * growth_t;
+            if y >= threshold(v as VertexId, t) * weights[v] {
+                to_freeze.push(v as VertexId);
+            }
+        }
+        let mut newly_frozen_edges = 0usize;
+        for &v in &to_freeze {
+            vertex_active[v as usize] = false;
+            freeze_iteration[v as usize] = Some(t);
+            cover_members.push(v);
+        }
+        for &v in &to_freeze {
+            for (u, eid) in eidx.incident(graph, v) {
+                if edge_freeze[eid as usize].is_some() {
+                    continue;
+                }
+                edge_freeze[eid as usize] = Some(t);
+                newly_frozen_edges += 1;
+                active_edges -= 1;
+                let x_final = x0[eid as usize] * growth_t;
+                for z in [v, u] {
+                    active_sum0[z as usize] -= x0[eid as usize];
+                    frozen_sum[z as usize] += x_final;
+                }
+            }
+        }
+        trace.push(IterationRecord {
+            newly_frozen_vertices: to_freeze.len(),
+            newly_frozen_edges,
+            active_edges,
+        });
+        // (4b)/(4c): active edges grow, frozen stay — via the lazy factor.
+        growth_t *= growth;
+        t += 1;
+    }
+
+    // Materialize final dual values: frozen edges at their freeze-time
+    // value, still-active edges (max_iterations hit) at the current one.
+    let x_final: Vec<f64> = x0
+        .iter()
+        .enumerate()
+        .map(|(eid, &x)| match edge_freeze[eid] {
+            Some(ft) => x * growth.powi(ft as i32),
+            None => x * growth_t,
+        })
+        .collect();
+
+    CentralizedResult {
+        cover: VertexCover::new(n, cover_members),
+        certificate: DualCertificate::new(x_final),
+        iterations: t as usize,
+        freeze_iteration,
+        edge_freeze_iteration: edge_freeze,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::is_valid_fractional_matching;
+    use mwvc_graph::generators::{clique, gnp, path, star};
+    use mwvc_graph::{VertexWeights, WeightModel};
+
+    const EPS: f64 = 0.1;
+
+    fn run(wg: &WeightedGraph, init: InitScheme) -> CentralizedResult {
+        run_centralized(
+            wg,
+            CentralizedParams::new(EPS),
+            init,
+            ThresholdScheme::UniformRandom,
+            42,
+        )
+    }
+
+    fn check_guarantees(wg: &WeightedGraph, res: &CentralizedResult) {
+        // The output is a cover.
+        res.cover.verify(&wg.graph).expect("not a vertex cover");
+        // Observation 3.1: final x is a valid fractional matching.
+        let eidx = EdgeIndex::build(&wg.graph);
+        assert!(is_valid_fractional_matching(
+            &wg.graph,
+            &eidx,
+            wg.weights.as_slice(),
+            &res.certificate.x,
+            1e-9
+        ));
+        // Proposition 3.3 accounting: w(C) <= 2/(1-4eps) * sum(x).
+        let wc = res.cover.weight(wg);
+        let dual = res.certificate.value();
+        if wg.num_edges() > 0 {
+            assert!(
+                wc <= 2.0 / (1.0 - 4.0 * EPS) * dual + 1e-9,
+                "cover weight {wc} vs duality bound {}",
+                2.0 / (1.0 - 4.0 * EPS) * dual
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_cover() {
+        let wg = WeightedGraph::unweighted(Graph::empty(5));
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        assert_eq!(res.cover.size(), 0);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn star_guarantees() {
+        let wg = WeightedGraph::new(
+            star(20),
+            VertexWeights::from_vec(
+                std::iter::once(1.0).chain((1..20).map(|_| 10.0)).collect(),
+            ),
+        );
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        check_guarantees(&wg, &res);
+        // The cheap center should carry the cover: weight far below the
+        // 19 * 10 all-leaves alternative.
+        assert!(res.cover.weight(&wg) <= (2.0 + 10.0 * EPS) * 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn path_guarantees() {
+        let wg = WeightedGraph::unweighted(path(10));
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        check_guarantees(&wg, &res);
+        // OPT for P10 (9 edges) has cardinality >= 4 wait; any cover of a
+        // path on 10 vertices needs >= ceil(9/2)... each vertex covers <= 2
+        // edges, so >= ceil(9/2) = 5 is wrong (interior vertices cover 2):
+        // OPT = 4 ({1,3,5,7} leaves edge (8,9) uncovered -> OPT is 5? No:
+        // vertices 1,3,5,7 cover edges 0-1..7-8; edge 8-9 needs 8 or 9.
+        // OPT = 5.) Guarantee: size <= (2+10eps)*5.
+        assert!(res.cover.size() as f64 <= (2.0 + 10.0 * EPS) * 5.0);
+    }
+
+    #[test]
+    fn random_graph_guarantees_all_inits() {
+        let g = gnp(200, 0.05, 11);
+        for model in [
+            WeightModel::Constant(1.0),
+            WeightModel::Uniform { lo: 0.5, hi: 20.0 },
+            WeightModel::Zipf { exponent: 1.2, scale: 50.0 },
+        ] {
+            let weights = model.sample(&g, 3);
+            let wg = WeightedGraph::new(g.clone(), weights);
+            for init in [
+                InitScheme::DegreeWeighted,
+                InitScheme::MaxDegree,
+                InitScheme::Uniform,
+            ] {
+                let res = run(&wg, init);
+                check_guarantees(&wg, &res);
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_3_4_iteration_bound() {
+        // Degree-weighted init terminates within log_{1/(1-eps)}(Delta) + 2
+        // iterations (the +2 absorbs threshold slack: freezing happens as
+        // soon as y crosses ~ (1-4eps) w(v), before the dual constraint is
+        // violated).
+        let g = gnp(500, 0.04, 5);
+        let delta = g.max_degree() as f64;
+        let wg = WeightedGraph::new(
+            g.clone(),
+            WeightModel::Uniform { lo: 1.0, hi: 1e6 }.sample(&g, 1),
+        );
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        let bound = delta.ln() / (1.0 / (1.0 - EPS)).ln() + 2.0;
+        assert!(
+            (res.iterations as f64) <= bound,
+            "iterations {} exceed O(log Delta) bound {bound}",
+            res.iterations
+        );
+        check_guarantees(&wg, &res);
+    }
+
+    #[test]
+    fn uniform_init_depends_on_weight_scale() {
+        // With 1/n-style init, iterations grow with the weight spread W;
+        // with degree-weighted init they do not.
+        let g = gnp(300, 0.05, 9);
+        let narrow = WeightedGraph::new(
+            g.clone(),
+            WeightModel::Uniform { lo: 1.0, hi: 2.0 }.sample(&g, 2),
+        );
+        let wide = WeightedGraph::new(
+            g.clone(),
+            WeightModel::Uniform { lo: 1.0, hi: 1e9 }.sample(&g, 2),
+        );
+        let iters = |wg: &WeightedGraph, init| run(wg, init).iterations;
+        let uniform_growth =
+            iters(&wide, InitScheme::Uniform) as f64 / iters(&narrow, InitScheme::Uniform) as f64;
+        assert!(
+            uniform_growth > 1.5,
+            "uniform init should slow down with weight spread (grew {uniform_growth}x)"
+        );
+        // Degree-weighted iterations stay within the O(log Delta) bound of
+        // Proposition 3.4 regardless of the weight spread, while uniform
+        // init on wide weights takes several times longer.
+        let delta_bound = (g.max_degree() as f64).ln() / (1.0 / (1.0 - EPS)).ln() + 2.0;
+        let dw_wide = iters(&wide, InitScheme::DegreeWeighted);
+        assert!((dw_wide as f64) <= delta_bound);
+        assert!((iters(&narrow, InitScheme::DegreeWeighted) as f64) <= delta_bound);
+        assert!(
+            iters(&wide, InitScheme::Uniform) > 3 * dw_wide,
+            "uniform init on wide weights should be several times slower"
+        );
+    }
+
+    #[test]
+    fn freeze_iterations_are_recorded_consistently() {
+        let wg = WeightedGraph::unweighted(clique(8));
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        for v in 0..8u32 {
+            match res.freeze_iteration[v as usize] {
+                Some(t) => {
+                    assert!(res.cover.contains(v));
+                    assert!((t as usize) < res.iterations);
+                }
+                None => assert!(!res.cover.contains(v)),
+            }
+        }
+        // Every edge freezes no later than both endpoints.
+        let eidx = EdgeIndex::build(&wg.graph);
+        for (eid, e) in eidx.edges().iter().enumerate() {
+            let ef = res.edge_freeze_iteration[eid].expect("all edges frozen");
+            let fu = res.freeze_iteration[e.u() as usize];
+            let fv = res.freeze_iteration[e.v() as usize];
+            let earliest = [fu, fv].into_iter().flatten().min().expect("covered edge");
+            assert_eq!(ef, earliest);
+        }
+    }
+
+    #[test]
+    fn trace_accounts_for_all_edges() {
+        let wg = WeightedGraph::unweighted(gnp(100, 0.1, 3));
+        let res = run(&wg, InitScheme::DegreeWeighted);
+        let total_frozen: usize = res.trace.iter().map(|r| r.newly_frozen_edges).sum();
+        assert_eq!(total_frozen, wg.num_edges());
+        assert_eq!(res.trace.last().unwrap().active_edges, 0);
+    }
+
+    #[test]
+    fn fixed_thresholds_also_work_centrally() {
+        // Fixed thresholds break the MPC analysis, not the centralized one.
+        let wg = WeightedGraph::unweighted(gnp(150, 0.06, 8));
+        let res = run_centralized(
+            &wg,
+            CentralizedParams::new(EPS),
+            InitScheme::DegreeWeighted,
+            ThresholdScheme::FixedMidpoint,
+            0,
+        );
+        check_guarantees(&wg, &res);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_out_of_range_rejected() {
+        let _ = CentralizedParams::new(0.3);
+    }
+
+    use mwvc_graph::Graph;
+}

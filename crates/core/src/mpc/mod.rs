@@ -1,0 +1,28 @@
+//! Algorithm 2: the MPC simulation for minimum weight vertex cover.
+//!
+//! Three executors of the same algorithm live here:
+//!
+//! * [`mod@reference`] — single-address-space execution of the exact phase
+//!   schedule (the oracle and the large-scale workhorse),
+//! * [`distributed`] — the same algorithm as actual message-passing
+//!   dataflow on the [`mpc_sim`] cluster, with every model constraint
+//!   (memory words, per-round traffic) enforced and recorded,
+//! * [`coupling`] — the reference executor instrumented with the coupled
+//!   centralized run of Lemma 4.6, measuring estimate deviations and
+//!   bad-vertex rates.
+//!
+//! [`local_sim`] holds the per-machine simulation shared by all of them;
+//! [`config`] holds every constant of the paper as a parameter.
+
+pub mod config;
+pub mod coupling;
+pub mod distributed;
+pub mod local_sim;
+pub mod reference;
+pub mod stats;
+
+pub use config::{BiasParams, IterationSchedule, MpcMwvcConfig, PhaseSwitch};
+pub use coupling::{run_coupled, CouplingReport, IterationDeviation};
+pub use distributed::{run_distributed, DistributedOutcome};
+pub use reference::{run_reference, run_reference_observed, PhaseObserver, PhaseSnapshot};
+pub use stats::{FinalPhaseStats, MpcRunResult, PhaseStats};

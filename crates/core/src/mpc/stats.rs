@@ -1,0 +1,161 @@
+//! Execution statistics of an Algorithm 2 run — the raw material of
+//! experiments E01, E04 and E05.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one phase of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase index, 0-based.
+    pub phase: usize,
+    /// Average degree `d = (1/n)·Σ_{v nonfrozen} d(v)` at phase start.
+    pub d_avg: f64,
+    /// `|V^high|`.
+    pub n_high: usize,
+    /// `|V^inactive|` (nonfrozen, below the degree cutoff).
+    pub n_inactive: usize,
+    /// Machine count `m` used for the partition.
+    pub machines: usize,
+    /// Local iterations `I` simulated.
+    pub iterations: usize,
+    /// `|E[V^high]|` — edges participating in the phase.
+    pub edges_high: usize,
+    /// `max_i |E[V_i]|` — the Lemma 4.1 quantity.
+    pub max_machine_edges: usize,
+    /// Sum over machines of `|E[V_i]|` (locally simulated edges).
+    pub local_edges_total: usize,
+    /// Vertices frozen by the local simulations (line 2(g)i).
+    pub frozen_local: usize,
+    /// Vertices frozen by the over-freeze correction (line 2i).
+    pub frozen_corrected: usize,
+    /// Nonfrozen edges before the phase.
+    pub nonfrozen_edges_before: usize,
+    /// Nonfrozen edges after the phase (the Lemma 4.4 quantity).
+    pub nonfrozen_edges_after: usize,
+}
+
+impl PhaseStats {
+    /// Lemma 4.4's bound on `nonfrozen_edges_after`:
+    /// `2·n·d·(1-ε)^I` (in edge units; the lemma states it for
+    /// `(1/2)·Σ d(v)`).
+    pub fn lemma_4_4_bound(&self, n: usize, epsilon: f64) -> f64 {
+        2.0 * n as f64 * self.d_avg * (1.0 - epsilon).powi(self.iterations as i32)
+    }
+}
+
+/// Statistics of the final centralized phase (Algorithm 2 line 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinalPhaseStats {
+    /// Vertices of the residual instance moved to one machine.
+    pub vertices: usize,
+    /// Edges of the residual instance.
+    pub edges: usize,
+    /// Iterations the centralized algorithm ran.
+    pub iterations: usize,
+}
+
+/// Cost model of the faithful distributed executor, used to convert phase
+/// counts into MPC round counts (each phase of Algorithm 2 is `O(1)` MPC
+/// rounds; these constants are what our `distributed` module actually
+/// spends).
+pub mod round_cost {
+    /// Rounds per compression phase in [`crate::mpc::distributed`]:
+    /// stats, plan, classify, route, simulate, forward, party, correct,
+    /// finalize.
+    pub const PER_PHASE: usize = 9;
+    /// Fixed rounds outside the phase loop: the startup subscribe round
+    /// plus the closing stats, plan, gather, solve and apply rounds.
+    pub const FINAL: usize = 6;
+}
+
+/// Full result of an Algorithm 2 run.
+#[derive(Debug, Clone)]
+pub struct MpcRunResult {
+    /// The vertex cover (all frozen vertices).
+    pub cover: crate::cover::VertexCover,
+    /// Final per-edge dual values `x^MPC_e` (global edge-id order).
+    pub certificate: crate::certificate::DualCertificate,
+    /// Per-phase statistics.
+    pub phases: Vec<PhaseStats>,
+    /// Final centralized phase statistics (`None` only if the input had no
+    /// edges).
+    pub final_phase: Option<FinalPhaseStats>,
+    /// Whether the loop stopped because no progress was possible
+    /// (`E[V^high] = ∅`) rather than by the switch condition.
+    pub stalled: bool,
+    /// Whether the `max_phases` cap fired.
+    pub hit_max_phases: bool,
+}
+
+impl MpcRunResult {
+    /// Number of compression phases executed.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// MPC rounds under the distributed cost model (the closing rounds
+    /// run whether or not a residual instance was left to solve).
+    pub fn mpc_rounds(&self) -> usize {
+        self.phases.len() * round_cost::PER_PHASE + round_cost::FINAL
+    }
+
+    /// The Lemma 4.1 headline: the per-machine induced subgraph size,
+    /// normalized by `n`, maximized over phases.
+    pub fn peak_machine_edges_over_n(&self, n: usize) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.max_machine_edges as f64 / n.max(1) as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::DualCertificate;
+    use crate::cover::VertexCover;
+
+    fn phase(i: usize, max_machine_edges: usize) -> PhaseStats {
+        PhaseStats {
+            phase: i,
+            d_avg: 100.0,
+            n_high: 10,
+            n_inactive: 5,
+            machines: 10,
+            iterations: 3,
+            edges_high: 500,
+            max_machine_edges,
+            local_edges_total: 100,
+            frozen_local: 4,
+            frozen_corrected: 1,
+            nonfrozen_edges_before: 600,
+            nonfrozen_edges_after: 200,
+        }
+    }
+
+    #[test]
+    fn round_accounting() {
+        let r = MpcRunResult {
+            cover: VertexCover::new(0, vec![]),
+            certificate: DualCertificate::new(vec![]),
+            phases: vec![phase(0, 50), phase(1, 80)],
+            final_phase: Some(FinalPhaseStats {
+                vertices: 3,
+                edges: 2,
+                iterations: 4,
+            }),
+            stalled: false,
+            hit_max_phases: false,
+        };
+        assert_eq!(r.num_phases(), 2);
+        assert_eq!(r.mpc_rounds(), 2 * 9 + 6);
+        assert_eq!(r.peak_machine_edges_over_n(40), 2.0);
+    }
+
+    #[test]
+    fn lemma_bound_formula() {
+        let p = phase(0, 1);
+        let b = p.lemma_4_4_bound(100, 0.1);
+        assert!((b - 2.0 * 100.0 * 100.0 * 0.9f64.powi(3)).abs() < 1e-9);
+    }
+}

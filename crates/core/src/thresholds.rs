@@ -1,0 +1,108 @@
+//! Freeze thresholds `T_{v,t} ∈ [1-4ε, 1-2ε]` (Algorithm 1 line 3,
+//! Algorithm 2 line 2d).
+//!
+//! The MPC analysis *requires* the thresholds to be independent uniform
+//! random draws: Lemma 4.8 bounds the probability a vertex's noisy local
+//! estimate lands on the wrong side of its threshold by `σ/ε`, which is
+//! only possible because the threshold position is random within a window
+//! of width `2ε·w'(v)`. A fixed threshold lets an adversarial (or merely
+//! unlucky) instance park many vertices right at the decision boundary,
+//! where every machine resolves them differently — the E12 ablation
+//! measures exactly this failure mode.
+//!
+//! Thresholds are a pure function of `(seed, phase, vertex, iteration)`,
+//! so any machine — and the coupled centralized run of Lemma 4.6 — can
+//! evaluate them without communication.
+
+use mpc_sim::rng::{indexed_rng, streams};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Threshold scheme choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdScheme {
+    /// Independent uniform draws from `[1-4ε, 1-2ε]` — the paper's scheme.
+    UniformRandom,
+    /// Fixed midpoint `1-3ε` — the ablation (breaks Lemma 4.8's argument).
+    FixedMidpoint,
+}
+
+impl ThresholdScheme {
+    /// `T_{v,t}` for the given epsilon, derived from
+    /// `(seed, phase, vertex, iteration)`.
+    pub fn threshold(&self, epsilon: f64, seed: u64, phase: u64, vertex: u32, t: u32) -> f64 {
+        debug_assert!(epsilon > 0.0 && epsilon < 0.25);
+        match self {
+            ThresholdScheme::UniformRandom => {
+                let key = (phase << 40) ^ ((vertex as u64) << 8) ^ (t as u64);
+                let mut rng = indexed_rng(seed, streams::THRESHOLD, key);
+                let lo = 1.0 - 4.0 * epsilon;
+                let hi = 1.0 - 2.0 * epsilon;
+                rng.gen_range(lo..hi)
+            }
+            ThresholdScheme::FixedMidpoint => 1.0 - 3.0 * epsilon,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThresholdScheme::UniformRandom => "random",
+            ThresholdScheme::FixedMidpoint => "fixed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 0.1;
+
+    #[test]
+    fn random_thresholds_stay_in_window() {
+        let s = ThresholdScheme::UniformRandom;
+        for v in 0..200u32 {
+            for t in 0..10u32 {
+                let th = s.threshold(EPS, 1, 0, v, t);
+                assert!((1.0 - 4.0 * EPS..1.0 - 2.0 * EPS).contains(&th));
+            }
+        }
+    }
+
+    #[test]
+    fn random_thresholds_are_reproducible() {
+        let s = ThresholdScheme::UniformRandom;
+        assert_eq!(s.threshold(EPS, 5, 2, 17, 3), s.threshold(EPS, 5, 2, 17, 3));
+    }
+
+    #[test]
+    fn thresholds_vary_across_all_indices() {
+        let s = ThresholdScheme::UniformRandom;
+        let base = s.threshold(EPS, 1, 1, 1, 1);
+        assert_ne!(base, s.threshold(EPS, 2, 1, 1, 1), "seed");
+        assert_ne!(base, s.threshold(EPS, 1, 2, 1, 1), "phase");
+        assert_ne!(base, s.threshold(EPS, 1, 1, 2, 1), "vertex");
+        assert_ne!(base, s.threshold(EPS, 1, 1, 1, 2), "iteration");
+    }
+
+    #[test]
+    fn random_thresholds_fill_the_window() {
+        // Min and max over many draws should approach the window ends:
+        // a degenerate generator would fail this.
+        let s = ThresholdScheme::UniformRandom;
+        let draws: Vec<f64> = (0..2000u32).map(|v| s.threshold(EPS, 9, 0, v, 0)).collect();
+        let lo = draws.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = draws.iter().copied().fold(0.0, f64::max);
+        let window = 2.0 * EPS;
+        assert!(lo < 1.0 - 4.0 * EPS + 0.05 * window);
+        assert!(hi > 1.0 - 2.0 * EPS - 0.05 * window);
+    }
+
+    #[test]
+    fn fixed_midpoint_is_constant() {
+        let s = ThresholdScheme::FixedMidpoint;
+        assert_eq!(s.threshold(EPS, 1, 2, 3, 4), 1.0 - 3.0 * EPS);
+        assert_eq!(s.threshold(EPS, 9, 9, 9, 9), 1.0 - 3.0 * EPS);
+    }
+}

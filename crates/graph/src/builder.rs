@@ -1,0 +1,176 @@
+//! Incremental, deduplicating graph construction.
+
+use crate::csr::{Graph, VertexId};
+
+/// Accumulates undirected edges and produces a validated CSR [`Graph`].
+///
+/// Duplicate insertions (in either orientation) collapse to a single edge.
+/// Self-loops panic at insertion time.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges `(u, v)`; both directions are pushed per edge.
+    half_edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph on vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= u32::MAX as usize,
+            "vertex count exceeds u32 id space"
+        );
+        Self {
+            n,
+            half_edges: Vec::new(),
+        }
+    }
+
+    /// New builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.half_edges.reserve(2 * m);
+        b
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `(u, v)`. Duplicates are allowed and
+    /// collapse at [`build`](Self::build) time; self-loops panic.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert_ne!(u, v, "self-loops are not representable");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.half_edges.push((u, v));
+        self.half_edges.push((v, u));
+    }
+
+    /// Current number of inserted (not yet deduplicated) edges.
+    pub fn pending_edges(&self) -> usize {
+        self.half_edges.len() / 2
+    }
+
+    /// Finalizes into a CSR graph: counting-sorts half-edges by source,
+    /// sorts each adjacency list, and removes duplicates.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        // Counting sort by source vertex.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in &self.half_edges {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut neighbors = vec![0 as VertexId; self.half_edges.len()];
+        let mut cursor = counts.clone();
+        for &(u, v) in &self.half_edges {
+            let slot = cursor[u as usize];
+            neighbors[slot] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort + dedup each adjacency list, compacting in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for u in 0..n {
+            let (start, end) = (counts[u], counts[u + 1]);
+            let list_start = write;
+            {
+                let list = &mut neighbors[start..end];
+                list.sort_unstable();
+            }
+            let mut prev: Option<VertexId> = None;
+            for idx in start..end {
+                let v = neighbors[idx];
+                if prev != Some(v) {
+                    neighbors[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            offsets[u] = list_start;
+            offsets[u + 1] = write;
+        }
+        neighbors.truncate(write);
+        Graph::from_csr_unchecked(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_triangle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_multi_edges() {
+        let mut b = GraphBuilder::new(2);
+        for _ in 0..10 {
+            b.add_edge(0, 1);
+            b.add_edge(1, 0);
+        }
+        assert_eq!(b.pending_edges(), 20);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(2, 4);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.add_edge(2, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lists() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Structured graph families with analytically known properties.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Path on `n` vertices (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Star: center `0` joined to leaves `1..n`. `Δ = n-1`, `d ≈ 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// `count` disjoint copies of `K_size`. OPT of the unweighted VC is
+/// `count * (size - 1)`.
+pub fn disjoint_cliques(count: usize, size: usize) -> Graph {
+    let n = count * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..count {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two `K_k` cliques joined by a path of `bridge` vertices.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 1);
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    let add_clique = |b: &mut GraphBuilder, base: usize| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+            }
+        }
+    };
+    add_clique(&mut b, 0);
+    add_clique(&mut b, k + bridge);
+    // Chain: last vertex of clique 1 -> bridge vertices -> first of clique 2.
+    let mut prev = k - 1;
+    for i in 0..bridge {
+        let cur = k + i;
+        b.add_edge(prev as VertexId, cur as VertexId);
+        prev = cur;
+    }
+    b.add_edge(prev as VertexId, (k + bridge) as VertexId);
+    b.build()
+}
+
+/// 2D grid graph `rows x cols` (4-neighborhood).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random recursive tree on `n` vertices: vertex `v` attaches to a uniform
+/// random earlier vertex.
+pub fn tree(n: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7472_6565); // "tree"
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(parent as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// A star forest overlaid on a sparse Erdős–Rényi graph: `hubs` star
+/// centers each with `leaves_per_hub` private leaves, plus `G(n, p)`
+/// background noise over everything.
+///
+/// This is the `Δ ≫ d` workload for experiment E09: the average degree
+/// stays near `2·hubs·leaves/n + p·n` while the max degree is
+/// `≈ leaves_per_hub`, so the gap between `O(log log d)` and
+/// `O(log log Δ)` round bounds is tunable.
+pub fn star_composite(
+    hubs: usize,
+    leaves_per_hub: usize,
+    background_p: f64,
+    seed: u64,
+) -> Graph {
+    let n = hubs * (1 + leaves_per_hub);
+    let mut b = GraphBuilder::new(n);
+    // Hubs are 0..hubs; leaves follow in blocks.
+    for h in 0..hubs {
+        for l in 0..leaves_per_hub {
+            let leaf = hubs + h * leaves_per_hub + l;
+            b.add_edge(h as VertexId, leaf as VertexId);
+        }
+    }
+    let mut g = b.build();
+    if background_p > 0.0 {
+        let noise = super::random::gnp(n, background_p, seed ^ 0x6e6f_6973); // "nois"
+        let mut b2 = GraphBuilder::new(n);
+        for e in g.edges().chain(noise.edges()) {
+            b2.add_edge(e.u(), e.v());
+        }
+        g = b2.build();
+    }
+    g
+}
+
+/// A graph of arboricity at most `k`: the union of `k` independent random
+/// recursive forests over uniformly relabeled vertices.
+///
+/// The strongly-sublinear-memory MPC literature the paper's Section 1.2
+/// surveys ([BBD+19]) gets `poly(log log n)` rounds exactly for this
+/// family; the generator exists so experiments can probe it.
+pub fn low_arboricity(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new(n);
+    for forest in 0..k {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (forest as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0061_7262, // "arb"
+        );
+        // Random relabeling so the forests are independent.
+        let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            label.swap(i, j);
+        }
+        for v in 1..n {
+            let parent = rng.gen_range(0..v);
+            if label[parent] != label[v] {
+                b.add_edge(label[parent], label[v]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_structure;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.max_degree(), 9);
+        for v in 1..10 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn disjoint_cliques_shape() {
+        let g = disjoint_cliques(3, 4);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 6);
+        // No cross-clique edges.
+        assert!(!g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        // 2 cliques of 6 edges + path of 3 edges.
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn tree_is_acyclic_and_connected_by_count() {
+        let g = tree(100, 3);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_edges(), 99);
+    }
+
+    #[test]
+    fn star_composite_skew() {
+        let g = star_composite(10, 100, 0.0, 1);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_vertices(), 1010);
+        assert_eq!(g.max_degree(), 100);
+        assert!(g.average_degree() < 3.0);
+    }
+
+    #[test]
+    fn star_composite_with_background_noise() {
+        let quiet = star_composite(5, 20, 0.0, 2);
+        let noisy = star_composite(5, 20, 0.02, 2);
+        assert!(noisy.num_edges() > quiet.num_edges());
+        check_structure(&noisy).unwrap();
+    }
+
+    #[test]
+    fn low_arboricity_edge_budget() {
+        // Union of k forests: at most k*(n-1) edges, at least one forest's
+        // worth after dedup.
+        let (n, k) = (500usize, 4usize);
+        let g = low_arboricity(n, k, 9);
+        check_structure(&g).unwrap();
+        assert!(g.num_edges() <= k * (n - 1));
+        assert!(g.num_edges() >= n - 1);
+        // Every subgraph of a union of k forests has average degree < 2k.
+        assert!(g.average_degree() < 2.0 * k as f64);
+    }
+
+    #[test]
+    fn low_arboricity_single_forest_is_tree_like() {
+        let g = low_arboricity(200, 1, 5);
+        check_structure(&g).unwrap();
+        assert!(g.num_edges() <= 199);
+    }
+}

@@ -1,0 +1,162 @@
+//! Planted-cover instances: weighted graphs whose optimal vertex cover is
+//! known by construction, enabling exact approximation-ratio measurements
+//! at sizes far beyond what an exact solver can handle.
+//!
+//! Construction: a planted cover set `C` of `k` hubs, each with `p ≥ 2`
+//! private leaves of the *same weight* as their hub, plus arbitrary extra
+//! random edges between `C` and the leaf side and inside `C`.
+//!
+//! Optimality argument: any vertex cover `S` must, for each hub `c ∉ S`,
+//! contain all `p` private leaves of `c` (their only edges go to `c`), at
+//! cost `p·w(c) ≥ 2·w(c) > w(c)`. Hence
+//! `w(S) ≥ Σ_{c∈C∩S} w(c) + Σ_{c∈C∖S} p·w(c) ≥ Σ_{c∈C} w(c) = w(C)`,
+//! with equality only for `S ⊇ C`-style covers of weight exactly `w(C)`.
+//! All non-private edges have an endpoint in `C`, so `C` itself is a valid
+//! cover and `OPT = w(C)`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::VertexId;
+use crate::weights::VertexWeights;
+use crate::WeightedGraph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A weighted instance with a known-optimal planted cover.
+#[derive(Debug, Clone)]
+pub struct PlantedInstance {
+    /// The instance itself.
+    pub graph: WeightedGraph,
+    /// The planted optimal cover (the hub set `C`).
+    pub planted: Vec<VertexId>,
+    /// `w(C)` — the optimal cover weight.
+    pub opt_weight: f64,
+}
+
+/// Generates a planted-cover instance.
+///
+/// * `hubs` — size of the planted cover `C` (vertices `0..hubs`),
+/// * `private_leaves` — private leaves per hub, must be `≥ 2` for strict
+///   optimality,
+/// * `extra_edge_prob` — probability of each additional hub↔leaf edge and
+///   hub↔hub edge (these only make the instance harder, never change OPT),
+/// * hub weights are uniform in `[1, max_hub_weight]`.
+pub fn planted_cover(
+    hubs: usize,
+    private_leaves: usize,
+    extra_edge_prob: f64,
+    max_hub_weight: f64,
+    seed: u64,
+) -> PlantedInstance {
+    assert!(hubs >= 1);
+    assert!(private_leaves >= 2, "need >= 2 private leaves for strict optimality");
+    assert!((0.0..=1.0).contains(&extra_edge_prob));
+    assert!(max_hub_weight >= 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0070_6c61_6e74); // "plant"
+    let n = hubs * (1 + private_leaves);
+    let mut b = GraphBuilder::new(n);
+    let mut weights = vec![0.0f64; n];
+
+    let leaf_id = |h: usize, l: usize| hubs + h * private_leaves + l;
+
+    for h in 0..hubs {
+        let w_h = rng.gen_range(1.0..=max_hub_weight);
+        weights[h] = w_h;
+        for l in 0..private_leaves {
+            let leaf = leaf_id(h, l);
+            weights[leaf] = w_h;
+            b.add_edge(h as VertexId, leaf as VertexId);
+        }
+    }
+    // Extra hub-hub edges.
+    for a in 0..hubs {
+        for c in (a + 1)..hubs {
+            if rng.gen_range(0.0..1.0) < extra_edge_prob {
+                b.add_edge(a as VertexId, c as VertexId);
+            }
+        }
+    }
+    // Extra hub-leaf edges (a hub may now touch other hubs' leaves).
+    for h in 0..hubs {
+        for other in 0..hubs {
+            if other == h {
+                continue;
+            }
+            for l in 0..private_leaves {
+                if rng.gen_range(0.0..1.0) < extra_edge_prob {
+                    b.add_edge(h as VertexId, leaf_id(other, l) as VertexId);
+                }
+            }
+        }
+    }
+    let graph = b.build();
+    let opt_weight: f64 = weights[..hubs].iter().sum();
+    let planted: Vec<VertexId> = (0..hubs as VertexId).collect();
+    PlantedInstance {
+        graph: WeightedGraph::new(graph, VertexWeights::from_vec(weights)),
+        planted,
+        opt_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_structure;
+
+    fn covers_all_edges(inst: &PlantedInstance) -> bool {
+        let in_cover: std::collections::HashSet<_> = inst.planted.iter().copied().collect();
+        inst.graph
+            .graph
+            .edges()
+            .all(|e| in_cover.contains(&e.u()) || in_cover.contains(&e.v()))
+    }
+
+    #[test]
+    fn planted_set_is_a_cover() {
+        let inst = planted_cover(20, 3, 0.05, 10.0, 7);
+        check_structure(&inst.graph.graph).unwrap();
+        assert!(covers_all_edges(&inst));
+        assert!((inst.opt_weight - inst.graph.set_weight(&inst.planted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaves_share_hub_weight() {
+        let inst = planted_cover(5, 4, 0.0, 100.0, 3);
+        for h in 0..5usize {
+            for l in 0..4usize {
+                let leaf = (5 + h * 4 + l) as VertexId;
+                assert_eq!(inst.graph.weight(leaf), inst.graph.weight(h as VertexId));
+            }
+        }
+    }
+
+    #[test]
+    fn no_extra_edges_when_prob_zero() {
+        let inst = planted_cover(6, 2, 0.0, 5.0, 1);
+        // Exactly hubs * leaves edges.
+        assert_eq!(inst.graph.num_edges(), 12);
+    }
+
+    #[test]
+    fn extra_edges_never_reduce_opt() {
+        // The planted set must remain a cover with extra edges present.
+        let inst = planted_cover(10, 2, 0.5, 5.0, 11);
+        assert!(covers_all_edges(&inst));
+        assert!(inst.graph.num_edges() >= 20);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = planted_cover(8, 3, 0.1, 4.0, 42);
+        let b = planted_cover(8, 3, 0.1, 4.0, 42);
+        assert_eq!(a.graph.graph, b.graph.graph);
+        assert_eq!(a.opt_weight, b.opt_weight);
+    }
+
+    #[test]
+    #[should_panic(expected = "private leaves")]
+    fn single_leaf_rejected() {
+        let _ = planted_cover(3, 1, 0.0, 2.0, 0);
+    }
+}

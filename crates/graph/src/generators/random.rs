@@ -1,0 +1,401 @@
+//! Random graph families: Erdős–Rényi, Chung–Lu, R-MAT, random regular,
+//! random bipartite.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng_for(seed: u64, salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so the cost is `O(n + m)` rather than `O(n^2)`,
+/// which keeps million-vertex sparse instances cheap.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = rng_for(seed, 0x0067_6e70); // "gnp"
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Enumerate pairs (u, v), u < v, in lexicographic order and skip
+    // geometrically: the next present edge is `floor(log(U)/log(1-p))`
+    // positions ahead.
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0; // linear index into the pair sequence
+    let total: u64 = n as u64 * (n as u64 - 1) / 2;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1p).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (a, bv) = pair_from_index(n as u64, idx);
+        b.add_edge(a as VertexId, bv as VertexId);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the lexicographically ordered
+/// pair `(u, v)` with `u < v`.
+fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+    // Row u starts at offset f(u) = u*n - u*(u+1)/2. Solve for the largest
+    // u with f(u) <= idx via the quadratic formula, then fix up.
+    let fi = idx as f64;
+    let nf = n as f64;
+    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * fi).sqrt()) / 2.0) as u64;
+    let row_start = |u: u64| u * n - u * (u + 1) / 2;
+    while u + 1 < n && row_start(u + 1) <= idx {
+        u += 1;
+    }
+    while row_start(u) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - row_start(u));
+    (u, v)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform random edges
+/// (rejection-sampled, so `m` must be at most the number of vertex pairs).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= total, "requested {m} edges but only {total} pairs exist");
+    let mut rng = rng_for(seed, 0x0067_6e6d); // "gnm"
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if m == 0 {
+        return b.build();
+    }
+    // Dense request: sample which pairs are *absent* instead.
+    if m * 3 > total * 2 {
+        let mut present = vec![true; total];
+        let mut absent = total - m;
+        while absent > 0 {
+            let i = rng.gen_range(0..total);
+            if present[i] {
+                present[i] = false;
+                absent -= 1;
+            }
+        }
+        for (i, keep) in present.iter().enumerate() {
+            if *keep {
+                let (u, v) = pair_from_index(n as u64, i as u64);
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+        return b.build();
+    }
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let i = rng.gen_range(0..total as u64);
+        if seen.insert(i) {
+            let (u, v) = pair_from_index(n as u64, i);
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu random graph with power-law expected degrees.
+///
+/// Expected degree of vertex `v` is `~ w_v` where `w_v ∝ (v+1)^(-1/(β-1))`
+/// scaled to hit `target_avg_degree`; `β` is the power-law exponent
+/// (2 < β < 3 is the social-network regime). Edge `(u,v)` appears with
+/// probability `min(1, w_u w_v / Σw)`. Sampled in `O(n + m)` expected time
+/// with the Miller–Hagberg bucket technique simplified to sorted weights.
+pub fn chung_lu(n: usize, beta: f64, target_avg_degree: f64, seed: u64) -> Graph {
+    assert!(beta > 1.0, "power-law exponent must exceed 1");
+    assert!(target_avg_degree >= 0.0);
+    let mut rng = rng_for(seed, 0x0063_6c75); // "clu"
+    // Desired weights, descending (vertex 0 is the biggest hub).
+    let gamma = 1.0 / (beta - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = target_avg_degree * n as f64 / sum;
+    for x in &mut w {
+        *x *= scale;
+    }
+    let total_w: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || total_w == 0.0 {
+        return b.build();
+    }
+    // For each u, scan candidates v > u with geometric skipping at rate
+    // q = min(1, w_u * w_v / total_w); since w is descending, process with
+    // the standard two-phase (skip with p_max, accept with p/p_max) scheme.
+    for u in 0..n - 1 {
+        let mut v = u + 1;
+        let mut p_max = (w[u] * w[v] / total_w).min(1.0);
+        while v < n && p_max > 0.0 {
+            // Skip ahead geometrically at rate p_max.
+            if p_max < 1.0 {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (r.ln() / (1.0 - p_max).ln()).floor() as usize;
+                v = match v.checked_add(skip) {
+                    Some(x) => x,
+                    None => break,
+                };
+            }
+            if v >= n {
+                break;
+            }
+            let p = (w[u] * w[v] / total_w).min(1.0);
+            if rng.gen_range(0.0..1.0) < p / p_max {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+            p_max = p;
+            v += 1;
+        }
+    }
+    b.build()
+}
+
+/// Parameters of the R-MAT recursive matrix generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability mass of the four quadrants; must sum to ~1.
+    pub a: f64,
+    /// Top-right quadrant mass.
+    pub b: f64,
+    /// Bottom-left quadrant mass.
+    pub c: f64,
+    /// Bottom-right quadrant mass.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The classic Graph500-style skewed parameterization.
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// R-MAT graph on `2^scale` vertices with `edge_factor * 2^scale` sampled
+/// edges (self-loops dropped, duplicates collapsed, so the realized edge
+/// count is somewhat lower).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-6, "R-MAT quadrant masses must sum to 1");
+    let n: usize = 1 << scale;
+    let m = edge_factor * n;
+    let mut rng = rng_for(seed, 0x726d_6174); // "rmat"
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        while hi_u - lo_u > 1 {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if r < params.a {
+                hi_u = mid_u;
+                hi_v = mid_v;
+            } else if r < params.a + params.b {
+                hi_u = mid_u;
+                lo_v = mid_v;
+            } else if r < params.a + params.b + params.c {
+                lo_u = mid_u;
+                hi_v = mid_v;
+            } else {
+                lo_u = mid_u;
+                lo_v = mid_v;
+            }
+        }
+        if lo_u != lo_v {
+            b.add_edge(lo_u as VertexId, lo_v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Random `k`-regular-ish graph via the configuration model: `k` stubs per
+/// vertex are paired uniformly; self-loops and duplicate pairings are
+/// dropped, so degrees are `≤ k` and concentrated at `k` for `k ≪ n`.
+pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k < n, "degree must be below vertex count");
+    let mut rng = rng_for(seed, 0x0072_6567); // "reg"
+    let mut stubs: Vec<VertexId> = (0..n as VertexId)
+        .flat_map(|v| std::iter::repeat_n(v, k))
+        .collect();
+    // Fisher–Yates shuffle, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: sides of size `n_left` and `n_right` (vertex ids
+/// `0..n_left` and `n_left..n_left+n_right`), each cross pair present
+/// independently with probability `p`.
+pub fn random_bipartite(n_left: usize, n_right: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let n = n_left + n_right;
+    let mut rng = rng_for(seed, 0x0062_6970); // "bip"
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n_left == 0 || n_right == 0 {
+        return b.build();
+    }
+    let total = (n_left as u64) * (n_right as u64);
+    if p >= 1.0 {
+        for u in 0..n_left {
+            for v in 0..n_right {
+                b.add_edge(u as VertexId, (n_left + v) as VertexId);
+            }
+        }
+        return b.build();
+    }
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1p).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let u = (idx / n_right as u64) as usize;
+        let v = (idx % n_right as u64) as usize;
+        b.add_edge(u as VertexId, (n_left + v) as VertexId);
+        idx += 1;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_structure;
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 500;
+        let p = 0.02;
+        let g = gnp(n, p, 11);
+        check_structure(&g).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "edges {got} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(100, 0.1, 5), gnp(100, 0.1, 5));
+        assert_ne!(gnp(100, 0.1, 5), gnp(100, 0.1, 6));
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let n = 17u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        for &(n, m) in &[(50usize, 0usize), (50, 100), (50, 1225), (50, 1000)] {
+            let g = gnm(n, m, 3);
+            check_structure(&g).unwrap();
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn gnm_too_many_edges_panics() {
+        let _ = gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn chung_lu_has_skewed_degrees() {
+        let g = chung_lu(2000, 2.2, 8.0, 13);
+        check_structure(&g).unwrap();
+        let avg = g.average_degree();
+        assert!((2.0..32.0).contains(&avg), "avg degree {avg}");
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "power law should produce hubs: max {} avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn rmat_basics() {
+        let g = rmat(10, 8, RmatParams::default(), 17);
+        check_structure(&g).unwrap();
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 2000, "edges {}", g.num_edges());
+        assert!(g.max_degree() > 3 * g.average_degree() as usize);
+    }
+
+    #[test]
+    fn random_regular_degrees_concentrate() {
+        let k = 8;
+        let g = random_regular(400, k, 23);
+        check_structure(&g).unwrap();
+        for v in g.vertices() {
+            assert!(g.degree(v) <= k);
+        }
+        assert!(g.average_degree() > 0.9 * k as f64);
+    }
+
+    #[test]
+    fn bipartite_has_no_side_internal_edges() {
+        let (l, r) = (40, 60);
+        let g = random_bipartite(l, r, 0.1, 29);
+        check_structure(&g).unwrap();
+        for e in g.edges() {
+            let left = (e.u() as usize) < l;
+            let right = (e.v() as usize) >= l;
+            assert!(left && right, "edge {:?} not crossing", e);
+        }
+        assert_eq!(random_bipartite(3, 4, 1.0, 0).num_edges(), 12);
+    }
+}

@@ -1,0 +1,163 @@
+//! DIMACS graph format (`p edge n m` header, `e u v` edge lines with
+//! 1-based vertex ids, optional `n v w` vertex-weight lines as used by
+//! weighted vertex cover benchmark sets).
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::weights::VertexWeights;
+use crate::WeightedGraph;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a DIMACS `edge`-format graph; `n` lines (node weights) are
+/// honored, all other weights default to 1.
+pub fn read_dimacs<R: Read>(reader: R) -> Result<WeightedGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut weights: Vec<f64> = Vec::new();
+    let mut declared_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match it.next().unwrap() {
+            "p" => {
+                if builder.is_some() {
+                    return Err(parse_err(line_no, "duplicate problem line"));
+                }
+                let kind = it.next().unwrap_or("");
+                if kind != "edge" && kind != "col" {
+                    return Err(parse_err(line_no, format!("unsupported problem type {kind:?}")));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "problem line missing n"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad n"))?;
+                declared_edges = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "problem line missing m"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad m"))?;
+                builder = Some(GraphBuilder::with_capacity(n, declared_edges));
+                weights = vec![1.0; n];
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "edge before problem line"))?;
+                let u: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "edge missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad endpoint"))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "edge missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad endpoint"))?;
+                if u == 0 || v == 0 || u > b.num_vertices() || v > b.num_vertices() {
+                    return Err(parse_err(line_no, format!("edge ({u},{v}) out of 1..=n")));
+                }
+                if u == v {
+                    return Err(parse_err(line_no, "self-loop"));
+                }
+                b.add_edge((u - 1) as u32, (v - 1) as u32);
+                seen_edges += 1;
+            }
+            "n" => {
+                if builder.is_none() {
+                    return Err(parse_err(line_no, "node line before problem line"));
+                }
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "node line missing vertex"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad vertex"))?;
+                let w: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "node line missing weight"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad weight"))?;
+                if v == 0 || v > weights.len() {
+                    return Err(parse_err(line_no, format!("vertex {v} out of 1..=n")));
+                }
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err(parse_err(line_no, "weight must be positive"));
+                }
+                weights[v - 1] = w;
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown line type {other:?}")));
+            }
+        }
+    }
+    let b = builder.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    if seen_edges != declared_edges {
+        // Tolerated by most DIMACS consumers; we keep it strict-but-soft:
+        // the graph is still returned, mismatch is not an error because
+        // duplicate `e` lines are common in the wild.
+    }
+    Ok(WeightedGraph::new(b.build(), VertexWeights::from_vec(weights)))
+}
+
+/// Writes DIMACS `edge` format with `n` node-weight lines for non-unit
+/// weights.
+pub fn write_dimacs<W: Write>(wg: &WeightedGraph, mut writer: W) -> Result<(), IoError> {
+    writeln!(
+        writer,
+        "p edge {} {}",
+        wg.num_vertices(),
+        wg.num_edges()
+    )?;
+    for v in wg.graph.vertices() {
+        let w = wg.weight(v);
+        if w != 1.0 {
+            writeln!(writer, "n {} {}", v + 1, w)?;
+        }
+    }
+    for e in wg.graph.edges() {
+        writeln!(writer, "e {} {}", e.u() + 1, e.v() + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Graph;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![2.0, 1.0, 5.0, 1.0]));
+        let mut buf = Vec::new();
+        write_dimacs(&wg, &mut buf).unwrap();
+        let back = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(back.graph, wg.graph);
+        assert_eq!(back.weights, wg.weights);
+    }
+
+    #[test]
+    fn reads_comments_and_one_based_ids() {
+        let input = "c test graph\np edge 3 2\ne 1 2\ne 2 3\nn 2 7.5\n";
+        let wg = read_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(wg.num_vertices(), 3);
+        assert!(wg.graph.has_edge(0, 1) && wg.graph.has_edge(1, 2));
+        assert_eq!(wg.weight(1), 7.5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_dimacs("e 1 2\n".as_bytes()).is_err());
+        assert!(read_dimacs("p edge 2 1\ne 0 1\n".as_bytes()).is_err());
+        assert!(read_dimacs("p edge 2 1\ne 1 1\n".as_bytes()).is_err());
+        assert!(read_dimacs("p matrix 2 1\n".as_bytes()).is_err());
+        assert!(read_dimacs("p edge 2 0\nn 1 -2\n".as_bytes()).is_err());
+        assert!(read_dimacs("".as_bytes()).is_err());
+    }
+}

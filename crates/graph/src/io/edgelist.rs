@@ -1,0 +1,145 @@
+//! Plain text edge-list format.
+//!
+//! Line 1: `n` (vertex count). Every following non-empty, non-`#` line:
+//! `u v` with `0 <= u, v < n`. An optional third column carries a vertex
+//! weight line instead, using the prefix `w v weight` — this keeps weighted
+//! instances in one self-contained file.
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::VertexId;
+use crate::weights::VertexWeights;
+use crate::WeightedGraph;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a (possibly weighted) edge list. Vertices without an explicit
+/// `w` line default to weight 1.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<WeightedGraph, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+    let n: usize = loop {
+        let line = match lines.next() {
+            Some(l) => l?,
+            None => return Err(parse_err(0, "empty input: expected vertex count")),
+        };
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        break t
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad vertex count {t:?}")))?;
+    };
+    let mut b = GraphBuilder::new(n);
+    let mut weights = vec![1.0f64; n];
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let first = it.next().unwrap();
+        if first == "w" {
+            let v: usize = it
+                .next()
+                .ok_or_else(|| parse_err(line_no, "weight line missing vertex"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "bad vertex id in weight line"))?;
+            let w: f64 = it
+                .next()
+                .ok_or_else(|| parse_err(line_no, "weight line missing value"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "bad weight value"))?;
+            if v >= n {
+                return Err(parse_err(line_no, format!("vertex {v} out of range")));
+            }
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(parse_err(line_no, format!("weight {w} must be positive")));
+            }
+            weights[v] = w;
+            continue;
+        }
+        let u: VertexId = first
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad endpoint {first:?}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(line_no, "edge line missing second endpoint"))?
+            .parse()
+            .map_err(|_| parse_err(line_no, "bad second endpoint"))?;
+        if u as usize >= n || v as usize >= n {
+            return Err(parse_err(line_no, format!("edge ({u},{v}) out of range")));
+        }
+        if u == v {
+            return Err(parse_err(line_no, format!("self-loop at {u}")));
+        }
+        b.add_edge(u, v);
+    }
+    Ok(WeightedGraph::new(b.build(), VertexWeights::from_vec(weights)))
+}
+
+/// Writes a weighted graph in the edge-list format accepted by
+/// [`read_edge_list`]. Unit weights are omitted.
+pub fn write_edge_list<W: Write>(wg: &WeightedGraph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "{}", wg.num_vertices())?;
+    for v in wg.graph.vertices() {
+        let w = wg.weight(v);
+        if w != 1.0 {
+            writeln!(writer, "w {v} {w}")?;
+        }
+    }
+    for e in wg.graph.edges() {
+        writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Graph;
+
+    fn roundtrip(wg: &WeightedGraph) -> WeightedGraph {
+        let mut buf = Vec::new();
+        write_edge_list(wg, &mut buf).unwrap();
+        read_edge_list(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![1.0, 2.5, 3.0, 1.0]));
+        let back = roundtrip(&wg);
+        assert_eq!(back.graph, wg.graph);
+        assert_eq!(back.weights, wg.weights);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let input = "# a graph\n\n3\n# weights\nw 1 4.5\n0 1\n\n1 2\n";
+        let wg = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(wg.num_vertices(), 3);
+        assert_eq!(wg.num_edges(), 2);
+        assert_eq!(wg.weight(1), 4.5);
+        assert_eq!(wg.weight(0), 1.0);
+    }
+
+    #[test]
+    fn errors_on_bad_content() {
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_edge_list("x".as_bytes()).is_err());
+        assert!(read_edge_list("2\n0 5\n".as_bytes()).is_err());
+        assert!(read_edge_list("2\n0 0\n".as_bytes()).is_err());
+        assert!(read_edge_list("2\nw 0 -1\n".as_bytes()).is_err());
+        assert!(read_edge_list("2\n0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = read_edge_list("2\n0 1\n0 9\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+}

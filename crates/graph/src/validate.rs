@@ -1,0 +1,89 @@
+//! Structural validation of CSR graphs, used by tests and as a debug-mode
+//! check after deserialization.
+
+use crate::csr::{Graph, VertexId};
+use std::fmt;
+
+/// A structural defect found in a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// A neighbor id is out of the vertex range.
+    NeighborOutOfRange { vertex: VertexId, neighbor: VertexId },
+    /// An adjacency list is not strictly sorted (implies duplicates too).
+    UnsortedAdjacency { vertex: VertexId },
+    /// A self-loop is present.
+    SelfLoop { vertex: VertexId },
+    /// `v` lists `u` but `u` does not list `v`.
+    Asymmetric { u: VertexId, v: VertexId },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::NeighborOutOfRange { vertex, neighbor } => {
+                write!(f, "vertex {vertex} lists out-of-range neighbor {neighbor}")
+            }
+            StructureError::UnsortedAdjacency { vertex } => {
+                write!(f, "adjacency list of vertex {vertex} is not strictly sorted")
+            }
+            StructureError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            StructureError::Asymmetric { u, v } => {
+                write!(f, "edge ({u},{v}) is present in only one direction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// Verifies that `g` is a well-formed simple undirected CSR graph:
+/// in-range sorted duplicate-free adjacency lists, no self-loops, and
+/// symmetric edges. O(n + m log d).
+pub fn check_structure(g: &Graph) -> Result<(), StructureError> {
+    let n = g.num_vertices() as VertexId;
+    for u in g.vertices() {
+        let nbrs = g.neighbors(u);
+        for window in nbrs.windows(2) {
+            if window[0] >= window[1] {
+                return Err(StructureError::UnsortedAdjacency { vertex: u });
+            }
+        }
+        for &v in nbrs {
+            if v >= n {
+                return Err(StructureError::NeighborOutOfRange { vertex: u, neighbor: v });
+            }
+            if v == u {
+                return Err(StructureError::SelfLoop { vertex: u });
+            }
+            if g.neighbors(v).binary_search(&u).is_err() {
+                return Err(StructureError::Asymmetric { u, v });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_graph_passes() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(check_structure(&g), Ok(()));
+    }
+
+    #[test]
+    fn empty_graph_passes() {
+        assert_eq!(check_structure(&Graph::empty(10)), Ok(()));
+        assert_eq!(check_structure(&Graph::empty(0)), Ok(()));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = StructureError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = StructureError::Asymmetric { u: 1, v: 2 };
+        assert!(e.to_string().contains("one direction"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the graph substrate.
+
+use mwvc_graph::generators::{chung_lu, gnm, gnp, low_arboricity, random_regular};
+use mwvc_graph::validate::check_structure;
+use mwvc_graph::{Graph, GraphBuilder, InducedSubgraph, VertexId, VertexPartition};
+use proptest::prelude::*;
+
+fn arb_edge_list(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Builder output is always structurally valid, whatever junk goes in.
+    #[test]
+    fn builder_always_valid((n, pairs) in arb_edge_list(80, 400)) {
+        let mut b = GraphBuilder::new(n);
+        let mut unique = std::collections::HashSet::new();
+        for (u, v) in pairs {
+            if u != v {
+                b.add_edge(u, v);
+                unique.insert((u.min(v), u.max(v)));
+            }
+        }
+        let g = b.build();
+        prop_assert!(check_structure(&g).is_ok());
+        prop_assert_eq!(g.num_edges(), unique.len());
+        // Degree sum identity.
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    /// has_edge agrees with the edge iterator.
+    #[test]
+    fn has_edge_agrees_with_iterator((n, pairs) in arb_edge_list(40, 120)) {
+        let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
+        let g = Graph::from_edges(n, &edges);
+        let set: std::collections::HashSet<(u32, u32)> =
+            g.edges().map(|e| (e.u(), e.v())).collect();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let expected = u != v && set.contains(&(u.min(v), u.max(v)));
+                prop_assert_eq!(g.has_edge(u, v), expected);
+            }
+        }
+    }
+
+    /// Every random generator yields structurally valid graphs.
+    #[test]
+    fn generators_always_valid(seed in 0u64..500, n in 10usize..200) {
+        prop_assert!(check_structure(&gnp(n, 0.08, seed)).is_ok());
+        let max_m = n * (n - 1) / 2;
+        prop_assert!(check_structure(&gnm(n, (3 * n).min(max_m), seed)).is_ok());
+        prop_assert!(check_structure(&chung_lu(n, 2.4, 6.0, seed)).is_ok());
+        prop_assert!(check_structure(&random_regular(n, 5.min(n - 1), seed)).is_ok());
+        prop_assert!(check_structure(&low_arboricity(n, 3, seed)).is_ok());
+    }
+
+    /// Induced subgraph edges are exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edge_set((n, pairs) in arb_edge_list(60, 300), pick in 0u64..1000) {
+        let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
+        let g = Graph::from_edges(n, &edges);
+        // Deterministic pseudo-random subset from `pick`.
+        let subset: Vec<VertexId> = (0..n as u32)
+            .filter(|v| (v.wrapping_mul(2654435761) ^ pick as u32) % 3 == 0)
+            .collect();
+        let sub = InducedSubgraph::extract(&g, &subset);
+        prop_assert!(check_structure(&sub.graph).is_ok());
+        let inside: std::collections::HashSet<u32> = subset.iter().copied().collect();
+        let expected = g
+            .edges()
+            .filter(|e| inside.contains(&e.u()) && inside.contains(&e.v()))
+            .count();
+        prop_assert_eq!(sub.num_edges(), expected);
+        // Mapping is consistent.
+        for le in sub.graph.edges() {
+            let (gu, gv) = (sub.global(le.u()), sub.global(le.v()));
+            prop_assert!(g.has_edge(gu, gv));
+        }
+    }
+
+    /// Partitions are total, disjoint, and recomputable per vertex.
+    #[test]
+    fn partition_is_a_partition(n in 1usize..400, parts in 1usize..12, seed in 0u64..1000) {
+        let vs: Vec<VertexId> = (0..n as u32).collect();
+        let p = VertexPartition::assign(&vs, parts, seed);
+        prop_assert_eq!(p.total_vertices(), n);
+        let mut seen = vec![false; n];
+        for (i, part) in p.parts().enumerate() {
+            for &v in part {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+                prop_assert_eq!(p.part_of(v), i);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

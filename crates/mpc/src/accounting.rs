@@ -1,0 +1,154 @@
+//! Per-round accounting: the quantities the MPC model charges for.
+
+use serde::{Deserialize, Serialize};
+
+/// Which model constraint a violation breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// A machine sent more than `S` words in one round.
+    SentExceedsMemory,
+    /// A machine received more than `S` words in one round.
+    ReceivedExceedsMemory,
+    /// A machine's resident state (local state + delivered inbox) exceeds `S`.
+    ResidentExceedsMemory,
+}
+
+/// A recorded breach of the model constraints (audit mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Round index (0-based) in which the breach occurred.
+    pub round: usize,
+    /// Offending machine.
+    pub machine: usize,
+    /// Constraint breached.
+    pub kind: ViolationKind,
+    /// Observed words.
+    pub words: usize,
+    /// The cap `S`.
+    pub cap: usize,
+}
+
+/// Statistics of a single executed round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Human-readable label supplied by the algorithm (e.g. `"phase 3: route edges"`).
+    pub label: String,
+    /// Maximum words sent by any single machine.
+    pub max_sent: usize,
+    /// Maximum words received by any single machine.
+    pub max_received: usize,
+    /// Maximum resident words (state + inbox) on any machine, measured
+    /// after delivery.
+    pub max_resident: usize,
+    /// Total words moved across the network this round.
+    pub total_traffic: usize,
+}
+
+/// The full execution record of a cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// One entry per executed round, in order.
+    pub rounds: Vec<RoundStats>,
+    /// Constraint breaches (empty under strict enforcement — it panics).
+    pub violations: Vec<Violation>,
+}
+
+impl ExecutionTrace {
+    /// Number of communication rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Largest per-machine resident memory observed in any round.
+    pub fn peak_resident(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_resident).max().unwrap_or(0)
+    }
+
+    /// Largest per-machine per-round communication (send or receive side).
+    pub fn peak_traffic(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.max_sent.max(r.max_received))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total words moved across the whole execution.
+    pub fn total_traffic(&self) -> usize {
+        self.rounds.iter().map(|r| r.total_traffic).sum()
+    }
+
+    /// Whether the execution stayed within the model constraints.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Appends another trace (e.g. a sub-phase) onto this one, reindexing
+    /// the violations' round numbers.
+    pub fn absorb(&mut self, other: ExecutionTrace) {
+        let offset = self.rounds.len();
+        self.rounds.extend(other.rounds);
+        self.violations.extend(other.violations.into_iter().map(|mut v| {
+            v.round += offset;
+            v
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(label: &str, sent: usize, recv: usize, res: usize, total: usize) -> RoundStats {
+        RoundStats {
+            label: label.to_string(),
+            max_sent: sent,
+            max_received: recv,
+            max_resident: res,
+            total_traffic: total,
+        }
+    }
+
+    #[test]
+    fn trace_summaries() {
+        let t = ExecutionTrace {
+            rounds: vec![stats("a", 10, 12, 100, 40), stats("b", 5, 30, 80, 60)],
+            violations: vec![],
+        };
+        assert_eq!(t.num_rounds(), 2);
+        assert_eq!(t.peak_resident(), 100);
+        assert_eq!(t.peak_traffic(), 30);
+        assert_eq!(t.total_traffic(), 100);
+        assert!(t.is_clean());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::default();
+        assert_eq!(t.num_rounds(), 0);
+        assert_eq!(t.peak_resident(), 0);
+        assert_eq!(t.peak_traffic(), 0);
+        assert!(t.is_clean());
+    }
+
+    #[test]
+    fn absorb_reindexes_violations() {
+        let mut a = ExecutionTrace {
+            rounds: vec![stats("a", 1, 1, 1, 1)],
+            violations: vec![],
+        };
+        let b = ExecutionTrace {
+            rounds: vec![stats("b", 2, 2, 2, 2)],
+            violations: vec![Violation {
+                round: 0,
+                machine: 3,
+                kind: ViolationKind::SentExceedsMemory,
+                words: 9,
+                cap: 5,
+            }],
+        };
+        a.absorb(b);
+        assert_eq!(a.num_rounds(), 2);
+        assert_eq!(a.violations[0].round, 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! The cluster: per-machine state, synchronous rounds, parallel local
+//! computation.
+//!
+//! A [`Cluster<S, M>`] owns one state value `S` per machine and a typed
+//! inbox of messages `M`. [`Cluster::round`] runs one synchronous MPC
+//! round: every machine's closure executes (in parallel on the host via
+//! rayon — the model charges nothing for local computation), emits
+//! messages through its [`MachineCtx`], and the router delivers them while
+//! enforcing the model's capacity constraints.
+
+use crate::accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
+use crate::model::{Enforcement, MpcConfig};
+use crate::router::route;
+use crate::words::Words;
+use rayon::prelude::*;
+
+/// A machine's handle for emitting messages during a round.
+pub struct MachineCtx<M> {
+    /// This machine's index in `0..num_machines`.
+    pub id: usize,
+    num_machines: usize,
+    outbox: Vec<(usize, M)>,
+}
+
+impl<M> MachineCtx<M> {
+    fn new(id: usize, num_machines: usize) -> Self {
+        Self {
+            id,
+            num_machines,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Queues `msg` for delivery to machine `to` at the end of the round.
+    pub fn send(&mut self, to: usize, msg: M) {
+        debug_assert!(to < self.num_machines);
+        self.outbox.push((to, msg));
+    }
+}
+
+impl<M: Clone> MachineCtx<M> {
+    /// Sends a copy of `msg` to every machine (including self). Costs
+    /// `num_machines * msg.words()` words of this machine's send budget —
+    /// broadcast is not free in MPC.
+    pub fn broadcast(&mut self, msg: M) {
+        for to in 0..self.num_machines {
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+}
+
+/// An MPC cluster executing synchronous rounds over per-machine state `S`
+/// and message type `M`.
+pub struct Cluster<S, M> {
+    config: MpcConfig,
+    states: Vec<S>,
+    inboxes: Vec<Vec<M>>,
+    trace: ExecutionTrace,
+}
+
+impl<S, M> Cluster<S, M>
+where
+    S: Send + Words,
+    M: Send + Words,
+{
+    /// Creates a cluster with `config.num_machines` machines, initializing
+    /// machine `i`'s state to `init(i)`.
+    pub fn new(config: MpcConfig, mut init: impl FnMut(usize) -> S) -> Self {
+        let states: Vec<S> = (0..config.num_machines).map(&mut init).collect();
+        let inboxes = (0..config.num_machines).map(|_| Vec::new()).collect();
+        Self {
+            config,
+            states,
+            inboxes,
+            trace: ExecutionTrace::default(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.config.num_machines
+    }
+
+    /// Immutable view of machine `i`'s state.
+    pub fn state(&self, i: usize) -> &S {
+        &self.states[i]
+    }
+
+    /// All machine states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// Consumes the cluster, returning machine states and the trace.
+    pub fn finish(self) -> (Vec<S>, ExecutionTrace) {
+        (self.states, self.trace)
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// For every machine, `f(ctx, state, inbox)` runs with the messages
+    /// delivered at the end of the previous round. Messages sent through
+    /// `ctx` are routed afterwards under the model's capacity constraints,
+    /// and a [`RoundStats`] entry labeled `label` is appended to the trace.
+    pub fn round<F>(&mut self, label: &str, f: F)
+    where
+        F: Fn(&mut MachineCtx<M>, &mut S, Vec<M>) + Sync + Send,
+    {
+        let m = self.config.num_machines;
+        let round_index = self.trace.rounds.len();
+        let inboxes = std::mem::replace(
+            &mut self.inboxes,
+            (0..m).map(|_| Vec::new()).collect(),
+        );
+
+        // Local computation: free in the model, parallel on the host.
+        // Each machine also reports its post-computation state footprint,
+        // so the resident check below needs no second scan.
+        let results: Vec<(Vec<(usize, M)>, usize)> = self
+            .states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .enumerate()
+            .map(|(id, (state, inbox))| {
+                let mut ctx = MachineCtx::new(id, m);
+                f(&mut ctx, state, inbox);
+                let state_words = state.words();
+                (ctx.outbox, state_words)
+            })
+            .collect();
+        let mut outboxes = Vec::with_capacity(m);
+        let mut state_words = Vec::with_capacity(m);
+        for (outbox, words) in results {
+            outboxes.push(outbox);
+            state_words.push(words);
+        }
+
+        // Communication: the only thing the model restricts.
+        let routed = route(&self.config, round_index, outboxes);
+        let mut violations: Vec<Violation> = routed.violations;
+
+        // Resident memory check: state + freshly delivered inbox. The
+        // inbox footprint equals the words received this round, which the
+        // router already measured.
+        let cap = self.config.memory_words;
+        let mut max_resident = 0usize;
+        let residents = state_words
+            .iter()
+            .zip(&routed.received_words)
+            .map(|(&s, &r)| s + r);
+        for (machine, resident) in residents.enumerate() {
+            max_resident = max_resident.max(resident);
+            if resident > cap {
+                let v = Violation {
+                    round: round_index,
+                    machine,
+                    kind: ViolationKind::ResidentExceedsMemory,
+                    words: resident,
+                    cap,
+                };
+                match self.config.enforcement {
+                    Enforcement::Strict => panic!(
+                        "MPC violation: machine {machine} holds {resident} words > cap {cap} \
+                         after round {round_index} ({label})"
+                    ),
+                    Enforcement::Audit => violations.push(v),
+                }
+            }
+        }
+
+        let total_traffic = routed.sent_words.iter().sum();
+        self.trace.rounds.push(RoundStats {
+            label: label.to_string(),
+            max_sent: routed.sent_words.iter().copied().max().unwrap_or(0),
+            max_received: routed.received_words.iter().copied().max().unwrap_or(0),
+            max_resident,
+            total_traffic,
+        });
+        self.trace.violations.extend(violations);
+        self.inboxes = routed.inboxes;
+    }
+
+    /// Messages currently pending delivery to machine `i` (sent in the
+    /// last round, visible to the next). Primarily for tests.
+    pub fn pending(&self, i: usize) -> &[M] {
+        &self.inboxes[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Machine state: a bag of numbers.
+    #[derive(Default)]
+    struct Bag(Vec<u64>);
+
+    impl Words for Bag {
+        fn words(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn cluster(m: usize, s: usize) -> Cluster<Bag, u64> {
+        Cluster::new(MpcConfig::new(m, s), |_| Bag::default())
+    }
+
+    #[test]
+    fn ring_pass() {
+        let mut c = cluster(4, 100);
+        // Round 1: each machine sends its id to the next.
+        c.round("send", |ctx, _state, _inbox| {
+            let next = (ctx.id + 1) % ctx.num_machines();
+            ctx.send(next, ctx.id as u64);
+        });
+        // Round 2: each machine stores what it received.
+        c.round("store", |ctx, state, inbox| {
+            assert_eq!(inbox.len(), 1);
+            assert_eq!(inbox[0], ((ctx.id + 3) % 4) as u64);
+            state.0.extend(inbox);
+        });
+        assert_eq!(c.trace().num_rounds(), 2);
+        assert_eq!(c.state(0).0, vec![3]);
+        assert_eq!(c.trace().rounds[0].total_traffic, 4);
+        assert_eq!(c.trace().rounds[1].total_traffic, 0);
+    }
+
+    #[test]
+    fn broadcast_counts_full_cost() {
+        let mut c = cluster(5, 100);
+        c.round("bcast", |ctx, _s, _i| {
+            if ctx.id == 0 {
+                ctx.broadcast(7u64);
+            }
+        });
+        assert_eq!(c.trace().rounds[0].max_sent, 5);
+        assert_eq!(c.trace().rounds[0].max_received, 1);
+        for i in 0..5 {
+            assert_eq!(c.pending(i), &[7u64]);
+        }
+    }
+
+    #[test]
+    fn resident_memory_is_state_plus_inbox() {
+        let mut c = cluster(2, 100);
+        c.round("fill", |ctx, state, _| {
+            state.0 = vec![1; 10]; // 10 resident words
+            ctx.send(1 - ctx.id, 9u64);
+        });
+        assert_eq!(c.trace().rounds[0].max_resident, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPC violation")]
+    fn strict_resident_cap_panics() {
+        let mut c = cluster(1, 5);
+        c.round("overflow", |_ctx, state, _| {
+            state.0 = vec![0; 6];
+        });
+    }
+
+    #[test]
+    fn audit_mode_records_resident_violation() {
+        let mut c: Cluster<Bag, u64> =
+            Cluster::new(MpcConfig::new(1, 5).audited(), |_| Bag::default());
+        c.round("overflow", |_ctx, state, _| {
+            state.0 = vec![0; 8];
+        });
+        assert_eq!(c.trace().violations.len(), 1);
+        assert_eq!(c.trace().violations[0].kind, ViolationKind::ResidentExceedsMemory);
+        assert_eq!(c.trace().violations[0].words, 8);
+    }
+
+    #[test]
+    fn undelivered_messages_carry_one_round_only() {
+        let mut c = cluster(2, 10);
+        c.round("send", |ctx, _s, _i| {
+            if ctx.id == 0 {
+                ctx.send(1, 42u64);
+            }
+        });
+        c.round("consume", |ctx, state, inbox| {
+            if ctx.id == 1 {
+                assert_eq!(inbox, vec![42]);
+                state.0.extend(inbox);
+            } else {
+                assert!(inbox.is_empty());
+            }
+        });
+        c.round("empty", |_ctx, _s, inbox| {
+            assert!(inbox.is_empty(), "messages must not be redelivered");
+        });
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let run = || {
+            let mut c = cluster(8, 1000);
+            for r in 0..5 {
+                c.round("mix", move |ctx, state, inbox| {
+                    state.0.extend(inbox);
+                    let dest = (ctx.id * 7 + r + 1) % ctx.num_machines();
+                    ctx.send(dest, (ctx.id * 100 + r) as u64);
+                });
+            }
+            let (states, trace) = c.finish();
+            (
+                states.into_iter().map(|b| b.0).collect::<Vec<_>>(),
+                trace,
+            )
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn finish_returns_states_and_trace() {
+        let mut c = cluster(3, 10);
+        c.round("noop", |_, _, _| {});
+        let (states, trace) = c.finish();
+        assert_eq!(states.len(), 3);
+        assert_eq!(trace.num_rounds(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Reusable MPC dataflow primitives: distributed sorting and keyed
+//! aggregation.
+//!
+//! The MPC model's foundational results (Karloff–Suri–Vassilvitskii,
+//! Goodrich–Sitchinava–Zhang — the simulations the paper's Section 1.2
+//! leans on) are built from exactly these operations. They are provided
+//! here both as substrate for algorithms on the simulator and as
+//! self-contained demonstrations that `O(1)`-round `O(S)`-memory dataflow
+//! is expressible and *auditable* in [`crate::Cluster`].
+//!
+//! Both primitives take the input pre-distributed (`input[i]` = machine
+//! `i`'s share, as the model assumes) and return the per-machine outputs
+//! together with the execution trace.
+
+use crate::cluster::Cluster;
+use crate::model::MpcConfig;
+use crate::rng::{indexed_rng, streams};
+use crate::words::Words;
+use crate::{accounting::ExecutionTrace, owner_of_key};
+use rand::Rng;
+
+/// State of a sorting machine.
+struct SortState<K> {
+    data: Vec<K>,
+    splitters: Vec<K>,
+    output: Vec<K>,
+}
+
+impl<K: Words> Words for SortState<K> {
+    fn words(&self) -> usize {
+        self.data.words() + self.splitters.words() + self.output.words()
+    }
+}
+
+#[derive(Clone)]
+enum SortMsg<K: Clone> {
+    Sample(K),
+    Splitters(Vec<K>),
+    Route(K),
+}
+
+impl<K: Words + Clone> Words for SortMsg<K> {
+    fn words(&self) -> usize {
+        match self {
+            SortMsg::Sample(k) | SortMsg::Route(k) => k.words(),
+            SortMsg::Splitters(ks) => ks.words(),
+        }
+    }
+}
+
+/// Distributed sample sort in three rounds.
+///
+/// 1. **sample** — every machine sends `oversample` random local keys to
+///    the coordinator,
+/// 2. **splitters** — the coordinator broadcasts `M-1` splitters chosen
+///    from the sorted sample,
+/// 3. **route** — every key moves to its bucket machine; buckets sort
+///    locally (free).
+///
+/// Returns the per-machine sorted buckets (machine `i`'s keys all ≤
+/// machine `i+1`'s) and the audited trace. With uniform-ish data and
+/// `oversample = Θ(log n)` the buckets are balanced w.h.p.; the router
+/// enforces (or audits) the `S`-word cap either way.
+pub fn sample_sort<K>(
+    config: MpcConfig,
+    input: Vec<Vec<K>>,
+    oversample: usize,
+    seed: u64,
+) -> (Vec<Vec<K>>, ExecutionTrace)
+where
+    K: Ord + Clone + Send + Words,
+{
+    assert_eq!(input.len(), config.num_machines);
+    assert!(oversample >= 1);
+    let mut machines = input.into_iter();
+    let mut cluster: Cluster<SortState<K>, SortMsg<K>> = Cluster::new(config, move |_| {
+        SortState {
+            data: machines.next().expect("one share per machine"),
+            splitters: Vec::new(),
+            output: Vec::new(),
+        }
+    });
+
+    cluster.round("sort:sample", move |ctx, st, _| {
+        let mut rng = indexed_rng(seed, streams::MACHINE, ctx.id as u64);
+        for _ in 0..oversample.min(st.data.len()) {
+            let k = st.data[rng.gen_range(0..st.data.len())].clone();
+            ctx.send(0, SortMsg::Sample(k));
+        }
+    });
+
+    cluster.round("sort:splitters", |ctx, _st, inbox| {
+        if ctx.id != 0 {
+            assert!(inbox.is_empty());
+            return;
+        }
+        let mut sample: Vec<K> = inbox
+            .into_iter()
+            .map(|m| match m {
+                SortMsg::Sample(k) => k,
+                _ => unreachable!("splitter round expects samples"),
+            })
+            .collect();
+        sample.sort();
+        let m = ctx.num_machines();
+        let splitters: Vec<K> = (1..m)
+            .filter_map(|i| {
+                if sample.is_empty() {
+                    None
+                } else {
+                    Some(sample[(i * sample.len() / m).min(sample.len() - 1)].clone())
+                }
+            })
+            .collect();
+        ctx.broadcast(SortMsg::Splitters(splitters));
+    });
+
+    cluster.round("sort:route", |ctx, st, inbox| {
+        for msg in inbox {
+            match msg {
+                SortMsg::Splitters(s) => st.splitters = s,
+                _ => unreachable!("route round expects splitters"),
+            }
+        }
+        let splitters = std::mem::take(&mut st.splitters);
+        for k in st.data.drain(..) {
+            // partition_point: first splitter > k determines the bucket.
+            let bucket = splitters.partition_point(|s| s <= &k);
+            ctx.send(bucket, SortMsg::Route(k));
+        }
+        st.splitters = splitters;
+    });
+
+    cluster.round("sort:collect", |_ctx, st, inbox| {
+        st.output = inbox
+            .into_iter()
+            .map(|m| match m {
+                SortMsg::Route(k) => k,
+                _ => unreachable!("collect round expects routed keys"),
+            })
+            .collect();
+        st.output.sort();
+    });
+
+    let (states, trace) = cluster.finish();
+    (states.into_iter().map(|s| s.output).collect(), trace)
+}
+
+/// State of an aggregation machine.
+struct AggState {
+    input: Vec<(u64, f64)>,
+    output: Vec<(u64, f64)>,
+}
+
+impl Words for AggState {
+    fn words(&self) -> usize {
+        2 * (self.input.len() + self.output.len())
+    }
+}
+
+/// Keyed sum aggregation (`reduce-by-key`) in one communication round:
+/// each machine pre-combines its local pairs, sends each key's partial to
+/// `owner_of_key(key)`, and owners fold partials in arrival order.
+/// Returns each machine's owned `(key, total)` pairs, sorted by key.
+pub fn aggregate_sum(
+    config: MpcConfig,
+    input: Vec<Vec<(u64, f64)>>,
+) -> (Vec<Vec<(u64, f64)>>, ExecutionTrace) {
+    assert_eq!(
+        input.len(),
+        config.num_machines,
+        "one input share per machine"
+    );
+    let mut machines = input.into_iter();
+    let mut cluster: Cluster<AggState, (u64, f64)> = Cluster::new(config, move |_| AggState {
+        input: machines.next().expect("one share per machine"),
+        output: Vec::new(),
+    });
+
+    cluster.round("agg:combine+route", |ctx, st, _| {
+        let mut local: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &(k, v) in &st.input {
+            *local.entry(k).or_default() += v;
+        }
+        for (k, v) in local {
+            ctx.send(owner_of_key(k, ctx.num_machines()), (k, v));
+        }
+    });
+
+    cluster.round("agg:fold", |_ctx, st, inbox| {
+        let mut totals: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for (k, v) in inbox {
+            *totals.entry(k).or_default() += v;
+        }
+        st.output = totals.into_iter().collect();
+    });
+
+    let (states, trace) = cluster.finish();
+    (states.into_iter().map(|s| s.output).collect(), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn distribute(values: Vec<u64>, m: usize) -> Vec<Vec<u64>> {
+        let mut shares = vec![Vec::new(); m];
+        for (i, v) in values.into_iter().enumerate() {
+            shares[i % m].push(v);
+        }
+        shares
+    }
+
+    #[test]
+    fn sample_sort_produces_global_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let values: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        let m = 8;
+        let config = MpcConfig::new(m, 30_000);
+        let (buckets, trace) = sample_sort(config, distribute(values, m), 64, 7);
+        // Exactly 4 rounds, within budget.
+        assert_eq!(trace.num_rounds(), 4);
+        assert!(trace.is_clean());
+        // Concatenation equals the sequential sort.
+        let got: Vec<u64> = buckets.iter().flatten().copied().collect();
+        assert_eq!(got, expected);
+        // Bucket boundaries respect the global order.
+        for w in buckets.windows(2) {
+            if let (Some(a), Some(b)) = (w[0].last(), w[1].first()) {
+                assert!(a <= b);
+            }
+        }
+        // Oversampling keeps buckets balanced within a small factor.
+        let max = buckets.iter().map(Vec::len).max().unwrap();
+        assert!(max < 3 * 20_000 / m, "largest bucket {max}");
+    }
+
+    #[test]
+    fn sample_sort_handles_duplicates_and_empty_machines() {
+        let m = 4;
+        let mut shares = vec![Vec::new(); m];
+        shares[2] = vec![5u64; 100];
+        let config = MpcConfig::new(m, 1000);
+        let (buckets, trace) = sample_sort(config, shares, 8, 3);
+        assert!(trace.is_clean());
+        let got: Vec<u64> = buckets.into_iter().flatten().collect();
+        assert_eq!(got, vec![5u64; 100]);
+    }
+
+    #[test]
+    fn sample_sort_is_deterministic() {
+        let values: Vec<u64> = (0..5000).rev().collect();
+        let m = 5;
+        let config = MpcConfig::new(m, 10_000);
+        let (a, _) = sample_sort(config, distribute(values.clone(), m), 32, 9);
+        let (b, _) = sample_sort(config, distribute(values, m), 32, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_sum_matches_sequential_reduce() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pairs: Vec<(u64, f64)> = (0..30_000)
+            .map(|_| (rng.gen_range(0..500), rng.gen_range(0.0..10.0)))
+            .collect();
+        let mut expected: std::collections::BTreeMap<u64, f64> = Default::default();
+        for &(k, v) in &pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        let m = 6;
+        let mut shares = vec![Vec::new(); m];
+        for (i, p) in pairs.into_iter().enumerate() {
+            shares[i % m].push(p);
+        }
+        let config = MpcConfig::new(m, 40_000);
+        let (outputs, trace) = aggregate_sum(config, shares);
+        assert_eq!(trace.num_rounds(), 2);
+        assert!(trace.is_clean());
+        let mut got: Vec<(u64, f64)> = outputs.into_iter().flatten().collect();
+        got.sort_by_key(|&(k, _)| k);
+        assert_eq!(got.len(), expected.len());
+        for ((gk, gv), (ek, ev)) in got.iter().zip(expected.iter()) {
+            assert_eq!(gk, ek);
+            assert!((gv - ev).abs() < 1e-6 * (1.0 + ev.abs()));
+        }
+    }
+
+    #[test]
+    fn aggregate_ownership_is_by_hash() {
+        let m = 4;
+        let mut shares = vec![Vec::new(); m];
+        for k in 0..100u64 {
+            shares[0].push((k, 1.0));
+        }
+        let config = MpcConfig::new(m, 2000);
+        let (outputs, _) = aggregate_sum(config, shares);
+        for (machine, out) in outputs.iter().enumerate() {
+            for &(k, _) in out {
+                assert_eq!(owner_of_key(k, m), machine);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one input share per machine")]
+    fn wrong_share_count_panics() {
+        let _ = aggregate_sum(MpcConfig::new(3, 100), vec![vec![]]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic per-stream randomness.
+//!
+//! MPC round compression assumes *shared randomness*: every machine can
+//! locally evaluate the same random choices (vertex partitions, per-vertex
+//! thresholds) without communication. We realize this with counter-style
+//! stream derivation: `(seed, stream)` fully determines a generator, so two
+//! runs — or two machines — that name the same stream draw identical values.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Well-known stream salts, so unrelated subsystems never collide.
+pub mod streams {
+    /// Vertex → machine partition draws.
+    pub const PARTITION: u64 = 0x7061_7274; // "part"
+    /// Per-vertex threshold draws `T_{v,t}`.
+    pub const THRESHOLD: u64 = 0x7468_7265; // "thre"
+    /// Initial distribution of input edges over machines.
+    pub const DISTRIBUTE: u64 = 0x6469_7374; // "dist"
+    /// Per-machine scratch randomness.
+    pub const MACHINE: u64 = 0x6d61_6368; // "mach"
+}
+
+/// Derives an independent generator for `(seed, stream)`.
+pub fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
+    // splitmix64 over the pair, then seed ChaCha. ChaCha8 is overkill for
+    // simulation purposes but guarantees stream independence.
+    let mixed = splitmix64(seed ^ splitmix64(stream));
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Derives a generator for `(seed, stream, index)` — e.g. per-vertex or
+/// per-machine substreams.
+pub fn indexed_rng(seed: u64, stream: u64, index: u64) -> ChaCha8Rng {
+    let mixed = splitmix64(seed ^ splitmix64(stream) ^ splitmix64(index.wrapping_add(0x1234)));
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: u64 = stream_rng(1, streams::PARTITION).gen();
+        let b: u64 = stream_rng(1, streams::PARTITION).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let a: u64 = stream_rng(1, streams::PARTITION).gen();
+        let b: u64 = stream_rng(1, streams::THRESHOLD).gen();
+        let c: u64 = stream_rng(2, streams::PARTITION).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let a: u64 = indexed_rng(1, streams::MACHINE, 0).gen();
+        let b: u64 = indexed_rng(1, streams::MACHINE, 1).gen();
+        assert_ne!(a, b);
+        let a2: u64 = indexed_rng(1, streams::MACHINE, 0).gen();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn indexed_zero_differs_from_plain_stream() {
+        let a: u64 = stream_rng(1, streams::MACHINE).gen();
+        let b: u64 = indexed_rng(1, streams::MACHINE, 0).gen();
+        assert_ne!(a, b);
+    }
+}

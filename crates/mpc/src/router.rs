@@ -1,0 +1,163 @@
+//! The all-to-all communication fabric of a round.
+//!
+//! In the MPC model the network graph is complete: any machine may address
+//! any other. The only restriction is capacity — per round, no machine may
+//! send or receive more words than its memory `S` (the paper's Section
+//! 1.1). The router measures both sides, delivers, and reports.
+
+use crate::accounting::{Violation, ViolationKind};
+use crate::model::{Enforcement, MpcConfig};
+use crate::words::Words;
+
+/// Result of routing one round's outboxes.
+pub struct RoutedRound<M> {
+    /// Per-machine inboxes for the next round, in sender-then-emission order.
+    pub inboxes: Vec<Vec<M>>,
+    /// Words sent per machine.
+    pub sent_words: Vec<usize>,
+    /// Words received per machine.
+    pub received_words: Vec<usize>,
+    /// Capacity breaches found (strict mode panics instead of returning).
+    pub violations: Vec<Violation>,
+}
+
+/// Routes `outboxes[machine] = [(dest, message), ...]` to per-destination
+/// inboxes, enforcing the send/receive caps.
+pub fn route<M: Words>(
+    config: &MpcConfig,
+    round: usize,
+    outboxes: Vec<Vec<(usize, M)>>,
+) -> RoutedRound<M> {
+    let m = config.num_machines;
+    assert_eq!(outboxes.len(), m, "one outbox per machine");
+    let cap = config.memory_words;
+    let mut sent_words = vec![0usize; m];
+    let mut received_words = vec![0usize; m];
+    let mut inboxes: Vec<Vec<M>> = (0..m).map(|_| Vec::new()).collect();
+    let mut violations = Vec::new();
+
+    for (from, outbox) in outboxes.into_iter().enumerate() {
+        for (to, msg) in outbox {
+            assert!(to < m, "machine {from} addressed nonexistent machine {to}");
+            let w = msg.words();
+            sent_words[from] += w;
+            received_words[to] += w;
+            inboxes[to].push(msg);
+        }
+    }
+
+    for machine in 0..m {
+        if sent_words[machine] > cap {
+            let v = Violation {
+                round,
+                machine,
+                kind: ViolationKind::SentExceedsMemory,
+                words: sent_words[machine],
+                cap,
+            };
+            match config.enforcement {
+                Enforcement::Strict => panic!(
+                    "MPC violation: machine {machine} sent {} words > cap {cap} in round {round}",
+                    sent_words[machine]
+                ),
+                Enforcement::Audit => violations.push(v),
+            }
+        }
+        if received_words[machine] > cap {
+            let v = Violation {
+                round,
+                machine,
+                kind: ViolationKind::ReceivedExceedsMemory,
+                words: received_words[machine],
+                cap,
+            };
+            match config.enforcement {
+                Enforcement::Strict => panic!(
+                    "MPC violation: machine {machine} received {} words > cap {cap} in round {round}",
+                    received_words[machine]
+                ),
+                Enforcement::Audit => violations.push(v),
+            }
+        }
+    }
+
+    RoutedRound {
+        inboxes,
+        sent_words,
+        received_words,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(m: usize, s: usize) -> MpcConfig {
+        MpcConfig::new(m, s)
+    }
+
+    #[test]
+    fn delivers_to_destinations() {
+        let routed = route(
+            &cfg(3, 100),
+            0,
+            vec![
+                vec![(1, 10u64), (2, 20u64)],
+                vec![(0, 30u64)],
+                vec![],
+            ],
+        );
+        assert_eq!(routed.inboxes[0], vec![30]);
+        assert_eq!(routed.inboxes[1], vec![10]);
+        assert_eq!(routed.inboxes[2], vec![20]);
+        assert_eq!(routed.sent_words, vec![2, 1, 0]);
+        assert_eq!(routed.received_words, vec![1, 1, 1]);
+        assert!(routed.violations.is_empty());
+    }
+
+    #[test]
+    fn self_messages_allowed() {
+        let routed = route(&cfg(1, 10), 0, vec![vec![(0, 5u64)]]);
+        assert_eq!(routed.inboxes[0], vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent")]
+    fn strict_send_cap_panics() {
+        let msgs: Vec<(usize, u64)> = (0..11).map(|i| (1usize, i)).collect();
+        let _ = route(&cfg(2, 10), 0, vec![msgs, vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "received")]
+    fn strict_receive_cap_panics() {
+        // Two senders each send 6 words to machine 0: each is under the
+        // send cap, together they exceed machine 0's receive cap.
+        let outbox = |_: usize| (0..6).map(|i| (0usize, i as u64)).collect::<Vec<_>>();
+        let _ = route(&cfg(3, 10), 0, vec![vec![], outbox(1), outbox(2)]);
+    }
+
+    #[test]
+    fn audit_records_instead_of_panicking() {
+        let config = cfg(2, 3).audited();
+        let msgs: Vec<(usize, u64)> = (0..5).map(|i| (1usize, i)).collect();
+        let routed = route(&config, 7, vec![msgs, vec![]]);
+        assert_eq!(routed.violations.len(), 2); // sender 0 over, receiver 1 over
+        assert!(routed
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::SentExceedsMemory && v.machine == 0));
+        assert!(routed
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::ReceivedExceedsMemory && v.machine == 1));
+        assert_eq!(routed.violations[0].round, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent")]
+    fn bad_destination_panics() {
+        let _ = route(&cfg(2, 10), 0, vec![vec![(5, 1u64)], vec![]]);
+    }
+}

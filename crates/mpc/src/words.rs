@@ -1,0 +1,110 @@
+//! Word counting: the memory unit of the MPC model.
+//!
+//! The model measures memory in *words* of `O(log N)` bits. Every value
+//! that crosses the network or lives in a machine's resident state
+//! implements [`Words`]; fixed-width scalars cost one word, composites sum
+//! their parts, and containers add nothing beyond their elements (CSR-style
+//! offset overhead is accounted where the container is built, e.g.
+//! [`Graph::words`](../mwvc_graph/struct.Graph.html#method.words)).
+
+/// Memory footprint in MPC words.
+pub trait Words {
+    /// Number of machine words this value occupies.
+    fn words(&self) -> usize;
+}
+
+macro_rules! scalar_words {
+    ($($t:ty),*) => {
+        $(impl Words for $t {
+            #[inline]
+            fn words(&self) -> usize {
+                1
+            }
+        })*
+    };
+}
+
+scalar_words!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Words for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words, D: Words> Words for (A, B, C, D) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(x) => x.words(),
+            None => 0,
+        }
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum()
+    }
+}
+
+impl<T: Words> Words for &[T] {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum()
+    }
+}
+
+impl<T: Words> Words for Box<T> {
+    fn words(&self) -> usize {
+        (**self).words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_cost_one_word() {
+        assert_eq!(1u32.words(), 1);
+        assert_eq!(1.5f64.words(), 1);
+        assert_eq!(true.words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn composites_sum() {
+        assert_eq!((1u32, 2.0f64).words(), 2);
+        assert_eq!((1u32, 2u32, 3u32).words(), 3);
+        assert_eq!((1u32, 2u32, 3u32, 4.0f64).words(), 4);
+        assert_eq!(Some((1u32, 2u32)).words(), 2);
+        assert_eq!(None::<u32>.words(), 0);
+    }
+
+    #[test]
+    fn containers_sum_elements() {
+        let v = vec![(1u32, 2.5f64); 10];
+        assert_eq!(v.words(), 20);
+        assert_eq!(Vec::<u32>::new().words(), 0);
+        assert_eq!(Box::new(7u64).words(), 1);
+        let s: &[u32] = &[1, 2, 3];
+        assert_eq!(s.words(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the MPC simulator: conservation and
+//! correctness of the communication fabric and the dataflow primitives.
+
+use mpc_sim::primitives::{aggregate_sum, sample_sort};
+use mpc_sim::{Cluster, MpcConfig, Words};
+use proptest::prelude::*;
+
+/// Trivial state that counts words it holds.
+struct Holder(Vec<u64>);
+
+impl Words for Holder {
+    fn words(&self) -> usize {
+        self.0.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The router conserves messages: everything sent arrives exactly
+    /// once, at the right machine, and the traffic accounting matches.
+    #[test]
+    fn router_conserves_messages(
+        sends in proptest::collection::vec((0usize..8, 0usize..8, 0u64..1000), 0..200)
+    ) {
+        let m = 8;
+        let config = MpcConfig::new(m, 1_000_000);
+        let mut cluster: Cluster<Holder, u64> = Cluster::new(config, |_| Holder(Vec::new()));
+        let plan = sends.clone();
+        cluster.round("scatter", move |ctx, _st, _| {
+            for &(from, to, payload) in &plan {
+                if from == ctx.id {
+                    ctx.send(to, payload);
+                }
+            }
+        });
+        cluster.round("gather", |_ctx, st, inbox| {
+            st.0 = inbox;
+        });
+        let total_sent = sends.len();
+        let trace = cluster.trace();
+        prop_assert_eq!(trace.rounds[0].total_traffic, total_sent);
+        // Every payload arrived at its destination.
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); m];
+        for (from, to, payload) in sends {
+            let _ = from;
+            expected[to].push(payload);
+        }
+        for i in 0..m {
+            let mut got = cluster.state(i).0.clone();
+            let mut want = expected[i].clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Sample sort equals sequential sort for arbitrary inputs and
+    /// machine counts.
+    #[test]
+    fn sample_sort_correct(
+        values in proptest::collection::vec(0u64..10_000, 0..2000),
+        m in 2usize..10,
+        seed in 0u64..100,
+    ) {
+        let mut shares = vec![Vec::new(); m];
+        for (i, v) in values.iter().enumerate() {
+            shares[i % m].push(*v);
+        }
+        let config = MpcConfig::new(m, 1_000_000);
+        let (buckets, trace) = sample_sort(config, shares, 16, seed);
+        prop_assert_eq!(trace.num_rounds(), 4);
+        let got: Vec<u64> = buckets.into_iter().flatten().collect();
+        let mut want = values;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Keyed aggregation equals a sequential reduce.
+    #[test]
+    fn aggregate_correct(
+        pairs in proptest::collection::vec((0u64..64, -100.0f64..100.0), 0..1500),
+        m in 2usize..8,
+    ) {
+        let mut shares = vec![Vec::new(); m];
+        for (i, p) in pairs.iter().enumerate() {
+            shares[i % m].push(*p);
+        }
+        let config = MpcConfig::new(m, 1_000_000);
+        let (outputs, trace) = aggregate_sum(config, shares);
+        prop_assert_eq!(trace.num_rounds(), 2);
+        let mut expected: std::collections::BTreeMap<u64, f64> = Default::default();
+        for (k, v) in pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        let mut got: Vec<(u64, f64)> = outputs.into_iter().flatten().collect();
+        got.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(got.len(), expected.len());
+        for ((gk, gv), (ek, ev)) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(gk, ek);
+            prop_assert!((gv - ev).abs() < 1e-6 * (1.0 + ev.abs()));
+        }
+    }
+}

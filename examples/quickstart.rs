@@ -1,0 +1,69 @@
+//! Quickstart: build a weighted graph, run the paper's MPC algorithm, and
+//! verify the cover and its certified approximation ratio.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mwvc_repro::core::mpc::MpcMwvcConfig;
+use mwvc_repro::core::solve_mpc;
+use mwvc_repro::graph::{generators::gnm, EdgeIndex, WeightModel, WeightedGraph};
+
+fn main() {
+    // A random graph with 10k vertices, average degree 64, and vertex
+    // weights drawn uniformly from [1, 10].
+    let graph = gnm(10_000, 320_000, 42);
+    let weights = WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&graph, 42);
+    let instance = WeightedGraph::new(graph, weights);
+    println!(
+        "instance: n = {}, m = {}, avg degree = {:.1}",
+        instance.num_vertices(),
+        instance.num_edges(),
+        instance.graph.average_degree()
+    );
+
+    // Run Algorithm 2 (round compression) with epsilon = 0.1.
+    let config = MpcMwvcConfig::practical(0.1, 7);
+    let result = solve_mpc(&instance, &config);
+
+    // The result is a verified vertex cover...
+    result.cover.verify(&instance.graph).expect("cover is valid");
+    let weight = result.cover.weight(&instance);
+
+    // ...with a dual certificate that lower-bounds the optimum, so the
+    // approximation ratio is certified per-instance without knowing OPT.
+    let eidx = EdgeIndex::build(&instance.graph);
+    let lower_bound = result.certificate.lower_bound(&instance, &eidx);
+    println!(
+        "cover: {} vertices, weight {weight:.1}",
+        result.cover.size()
+    );
+    println!(
+        "certified: OPT >= {lower_bound:.1}, so ratio <= {:.3} (guarantee: {:.1})",
+        weight / lower_bound,
+        2.0 + 30.0 * config.epsilon
+    );
+    println!(
+        "rounds: {} compression phases = {} MPC rounds",
+        result.num_phases(),
+        result.mpc_rounds()
+    );
+    for p in &result.phases {
+        println!(
+            "  phase {}: d = {:7.1}, m = {:3} machines, I = {:2} iterations, \
+             edges {} -> {}",
+            p.phase,
+            p.d_avg,
+            p.machines,
+            p.iterations,
+            p.nonfrozen_edges_before,
+            p.nonfrozen_edges_after
+        );
+    }
+    if let Some(fin) = result.final_phase {
+        println!(
+            "  final: {} vertices / {} edges solved on one machine in {} iterations",
+            fin.vertices, fin.edges, fin.iterations
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! `mwvc-repro` — umbrella crate of the reproduction of
+//! Ghaffari–Jin–Nilis, *A Massively Parallel Algorithm for Minimum Weight
+//! Vertex Cover* (SPAA 2020).
+//!
+//! This crate re-exports the workspace members so examples and
+//! integration tests can use one coherent namespace:
+//!
+//! * [`graph`] — graph substrate (CSR graphs, generators, weights, I/O),
+//! * [`sim`] — the MPC model simulator (machines, rounds, accounting),
+//! * [`core`] — the paper's algorithms (centralized Algorithm 1 and the
+//!   round-compressed MPC Algorithm 2),
+//! * [`baselines`] — comparison algorithms and exact certification
+//!   machinery (LP bound, branch-and-bound).
+//!
+//! See the repository `README.md` for a guided tour and
+//! `examples/quickstart.rs` for the fastest start.
+
+pub use mwvc_baselines as baselines;
+pub use mwvc_core as core;
+pub use mwvc_graph as graph;
+pub use mpc_sim as sim;

@@ -1,0 +1,100 @@
+//! Integration test: the message-passing executor and the in-memory
+//! reference executor run the *same algorithm* — same partitions, same
+//! thresholds, same freezes — across instance families, profiles and
+//! seeds, while staying inside the MPC model's memory budget.
+
+use mwvc_repro::core::mpc::distributed::{recommended_cluster, run_distributed};
+use mwvc_repro::core::mpc::{run_reference, MpcMwvcConfig};
+use mwvc_repro::graph::generators::{chung_lu, gnm, planted_cover};
+use mwvc_repro::graph::{WeightModel, WeightedGraph};
+
+const EPS: f64 = 0.1;
+
+fn assert_equivalent(wg: &WeightedGraph, cfg: &MpcMwvcConfig, label: &str) {
+    let cluster = recommended_cluster(wg, cfg);
+    let dist = run_distributed(wg, cfg, cluster);
+    let reference = run_reference(wg, cfg);
+    assert_eq!(dist.phases, reference.num_phases(), "{label}: phase count");
+    assert_eq!(dist.cover, reference.cover, "{label}: covers");
+    assert_eq!(dist.stalled, reference.stalled, "{label}: stall flag");
+    for (i, (a, b)) in dist
+        .certificate
+        .x
+        .iter()
+        .zip(&reference.certificate.x)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+            "{label}: edge {i} dual {a} vs {b}"
+        );
+    }
+    assert!(dist.trace.is_clean(), "{label}: model violations");
+}
+
+#[test]
+fn equivalent_on_erdos_renyi_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let g = gnm(500, 8000, seed);
+        let wg = WeightedGraph::new(
+            g.clone(),
+            WeightModel::Uniform { lo: 1.0, hi: 6.0 }.sample(&g, seed),
+        );
+        let cfg = MpcMwvcConfig::practical(EPS, 100 + seed);
+        assert_equivalent(&wg, &cfg, &format!("er seed {seed}"));
+    }
+}
+
+#[test]
+fn equivalent_on_power_law() {
+    let g = chung_lu(800, 2.3, 24.0, 7);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Zipf { exponent: 1.2, scale: 40.0 }.sample(&g, 7),
+    );
+    assert_equivalent(&wg, &MpcMwvcConfig::practical(EPS, 7), "chung-lu");
+}
+
+#[test]
+fn equivalent_on_planted_instances() {
+    let inst = planted_cover(80, 3, 0.1, 6.0, 9);
+    assert_equivalent(&inst.graph, &MpcMwvcConfig::practical(EPS, 9), "planted");
+}
+
+#[test]
+fn equivalent_under_paper_profile() {
+    let g = gnm(300, 3000, 13);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Exponential { mean: 2.0 }.sample(&g, 13),
+    );
+    assert_equivalent(&wg, &MpcMwvcConfig::paper(EPS, 5), "paper profile");
+}
+
+#[test]
+fn equivalent_under_alternative_init_schemes() {
+    use mwvc_repro::core::InitScheme;
+    let g = gnm(400, 6400, 17);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Uniform { lo: 1.0, hi: 4.0 }.sample(&g, 17),
+    );
+    for init in [InitScheme::MaxDegree, InitScheme::Uniform] {
+        let mut cfg = MpcMwvcConfig::practical(EPS, 19);
+        cfg.init = init;
+        assert_equivalent(&wg, &cfg, init.label());
+    }
+}
+
+#[test]
+fn equivalent_with_fixed_thresholds() {
+    use mwvc_repro::core::ThresholdScheme;
+    let g = gnm(400, 6400, 23);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Uniform { lo: 1.0, hi: 4.0 }.sample(&g, 23),
+    );
+    let mut cfg = MpcMwvcConfig::practical(EPS, 29);
+    cfg.thresholds = ThresholdScheme::FixedMidpoint;
+    assert_equivalent(&wg, &cfg, "fixed thresholds");
+}

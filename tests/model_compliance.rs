@@ -1,0 +1,110 @@
+//! Integration tests of MPC-model compliance: the distributed executor
+//! must genuinely fit the near-linear memory regime, and the simulator's
+//! accounting must be self-consistent end-to-end.
+
+use mwvc_repro::core::mpc::distributed::{recommended_cluster, run_distributed};
+use mwvc_repro::core::mpc::MpcMwvcConfig;
+use mwvc_repro::graph::{generators::gnm, WeightModel, WeightedGraph};
+use mwvc_repro::sim::congested_clique::simulate_on_clique;
+use mwvc_repro::sim::{MemoryRegime, MpcConfig};
+
+const EPS: f64 = 0.1;
+
+fn instance(n: usize, d: usize, seed: u64) -> WeightedGraph {
+    let g = gnm(n, n * d / 2, seed);
+    let w = WeightModel::Uniform { lo: 1.0, hi: 8.0 }.sample(&g, seed);
+    WeightedGraph::new(g, w)
+}
+
+#[test]
+fn recommended_cluster_is_near_linear() {
+    for &(n, d) in &[(500usize, 16usize), (2000, 32), (4000, 64)] {
+        let wg = instance(n, d, 3);
+        let cfg = MpcMwvcConfig::practical(EPS, 5);
+        let cluster = recommended_cluster(&wg, &cfg);
+        // S = O(n): the near-linear regime with a modest constant.
+        assert!(cluster.memory_words >= n);
+        assert!(
+            cluster.memory_words <= 120 * n,
+            "S = {} for n = {n} is not near-linear",
+            cluster.memory_words
+        );
+        // The cluster can hold the input.
+        assert!(cluster.total_memory_words() >= 3 * wg.num_edges());
+    }
+}
+
+#[test]
+fn strict_enforcement_passes_on_recommended_sizing() {
+    let wg = instance(1500, 48, 7);
+    let cfg = MpcMwvcConfig::practical(EPS, 9);
+    // Strict mode: any violation panics. Completing the run *is* the test.
+    let out = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    out.cover.verify(&wg.graph).unwrap();
+    assert!(out.trace.is_clean());
+}
+
+#[test]
+fn audit_mode_on_undersized_cluster_reports_violations() {
+    let wg = instance(800, 32, 11);
+    let cfg = MpcMwvcConfig::practical(EPS, 13);
+    let mut cluster = recommended_cluster(&wg, &cfg);
+    // Shrink memory below what the dataflow needs; audit mode must
+    // complete and report the breaches instead of panicking.
+    cluster.memory_words /= 20;
+    let out = run_distributed(&wg, &cfg, cluster.audited());
+    out.cover.verify(&wg.graph).unwrap();
+    assert!(
+        !out.trace.violations.is_empty(),
+        "a 20x-undersized cluster cannot be violation-free"
+    );
+}
+
+#[test]
+fn trace_accounting_is_self_consistent() {
+    let wg = instance(1000, 32, 17);
+    let cfg = MpcMwvcConfig::practical(EPS, 19);
+    let out = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    let trace = &out.trace;
+    for r in &trace.rounds {
+        // A machine's max send/receive cannot exceed the round's total.
+        assert!(r.max_sent <= r.total_traffic);
+        assert!(r.max_received <= r.total_traffic);
+    }
+    assert_eq!(
+        trace.total_traffic(),
+        trace.rounds.iter().map(|r| r.total_traffic).sum::<usize>()
+    );
+    assert!(trace.peak_resident() >= trace.rounds.iter().map(|r| r.max_resident).max().unwrap());
+}
+
+#[test]
+fn congested_clique_translation_is_constant_overhead() {
+    let n = 2000;
+    let wg = instance(n, 32, 23);
+    let cfg = MpcMwvcConfig::practical(EPS, 29);
+    let out = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    let clique = simulate_on_clique(&out.trace, n);
+    // Semi-MPC ≡ congested clique with constant overhead [BDH18]: each
+    // near-linear round costs O(S/n) = O(1) clique rounds.
+    assert!(clique.rounds >= out.trace.num_rounds());
+    assert!(
+        clique.rounds <= 40 * out.trace.num_rounds(),
+        "{} clique rounds for {} MPC rounds",
+        clique.rounds,
+        out.trace.num_rounds()
+    );
+}
+
+#[test]
+fn memory_regime_helpers_scale_as_documented() {
+    let n = 1_000_000;
+    let sub = MemoryRegime::StronglySublinear { beta: 0.5 }.memory_words(n);
+    let lin = MemoryRegime::NearLinear { factor: 8.0 }.memory_words(n);
+    let sup = MemoryRegime::StronglySuperlinear { beta: 0.5 }.memory_words(n);
+    assert_eq!(sub, 1000); // n^0.5
+    assert_eq!(lin, 8_000_000); // 8n
+    assert_eq!(sup, 1_000_000_000); // n^1.5
+    let cfg = MpcConfig::for_input(n, 64_000_000, MemoryRegime::NearLinear { factor: 8.0 });
+    assert_eq!(cfg.num_machines, 8);
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full pipeline (generator → weights →
+//! algorithm → verification → certification) on every generator family
+//! and weight model.
+
+use mwvc_repro::baselines::{bar_yehuda_even, greedy_ratio_cover, lp_optimum};
+use mwvc_repro::core::mpc::{run_reference, MpcMwvcConfig};
+use mwvc_repro::core::solve_centralized;
+use mwvc_repro::graph::generators::{
+    barbell, chung_lu, clique, disjoint_cliques, gnm, gnp, grid, planted_cover,
+    random_bipartite, random_regular, rmat, star, star_composite, tree, RmatParams,
+};
+use mwvc_repro::graph::validate::check_structure;
+use mwvc_repro::graph::{EdgeIndex, Graph, WeightModel, WeightedGraph};
+
+const EPS: f64 = 0.1;
+
+fn all_generators() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", gnp(400, 0.03, 1)),
+        ("gnm", gnm(400, 3200, 2)),
+        ("chung_lu", chung_lu(400, 2.3, 10.0, 3)),
+        ("rmat", rmat(9, 8, RmatParams::default(), 4)),
+        ("random_regular", random_regular(400, 8, 5)),
+        ("bipartite", random_bipartite(150, 250, 0.04, 6)),
+        ("grid", grid(20, 20)),
+        ("tree", tree(400, 7)),
+        ("star", star(200)),
+        ("clique", clique(40)),
+        ("disjoint_cliques", disjoint_cliques(20, 8)),
+        ("barbell", barbell(15, 5)),
+        ("star_composite", star_composite(5, 60, 0.01, 8)),
+    ]
+}
+
+fn all_weight_models() -> Vec<WeightModel> {
+    vec![
+        WeightModel::Constant(1.0),
+        WeightModel::Uniform { lo: 0.5, hi: 20.0 },
+        WeightModel::Exponential { mean: 3.0 },
+        WeightModel::Zipf { exponent: 1.3, scale: 50.0 },
+        WeightModel::DegreeProportional { base: 1.0, slope: 1.0 },
+        WeightModel::DegreeInverse { scale: 30.0 },
+    ]
+}
+
+#[test]
+fn every_generator_produces_valid_structure() {
+    for (name, g) in all_generators() {
+        check_structure(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn full_pipeline_on_every_generator() {
+    for (name, g) in all_generators() {
+        let w = WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&g, 11);
+        let wg = WeightedGraph::new(g, w);
+        let res = run_reference(&wg, &MpcMwvcConfig::practical(EPS, 17));
+        res.cover
+            .verify(&wg.graph)
+            .unwrap_or_else(|e| panic!("{name}: uncovered edge {e:?}"));
+        if wg.num_edges() > 0 {
+            let eidx = EdgeIndex::build(&wg.graph);
+            let ratio = res
+                .certificate
+                .certified_ratio(&wg, &eidx, res.cover.weight(&wg));
+            assert!(
+                ratio <= 2.0 + 30.0 * EPS,
+                "{name}: certified ratio {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_on_every_weight_model() {
+    let g = gnm(600, 9600, 21);
+    for model in all_weight_models() {
+        let wg = WeightedGraph::new(g.clone(), model.sample(&g, 5));
+        let res = run_reference(&wg, &MpcMwvcConfig::practical(EPS, 23));
+        res.cover
+            .verify(&wg.graph)
+            .unwrap_or_else(|e| panic!("{}: uncovered {e:?}", model.label()));
+        let central = solve_centralized(&wg, EPS, 23);
+        central.cover.verify(&wg.graph).unwrap();
+        // Both must be certified within the guarantee.
+        let eidx = EdgeIndex::build(&wg.graph);
+        for (label, cover, cert) in [
+            ("mpc", &res.cover, &res.certificate),
+            ("central", &central.cover, &central.certificate),
+        ] {
+            let ratio = cert.certified_ratio(&wg, &eidx, cover.weight(&wg));
+            assert!(
+                ratio <= 2.0 + 30.0 * EPS,
+                "{label}/{}: ratio {ratio}",
+                model.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithms_ordered_by_quality_on_planted_instances() {
+    // On planted instances the optimum is known exactly: every algorithm
+    // must sit in [OPT, guarantee * OPT].
+    let inst = planted_cover(120, 3, 0.08, 10.0, 31);
+    let wg = &inst.graph;
+    let mpc = run_reference(wg, &MpcMwvcConfig::practical(EPS, 37));
+    let central = solve_centralized(wg, EPS, 37);
+    let bye = bar_yehuda_even(wg);
+    let greedy = greedy_ratio_cover(wg);
+    for (name, w) in [
+        ("mpc", mpc.cover.weight(wg)),
+        ("central", central.cover.weight(wg)),
+        ("bye", bye.cover.weight(wg)),
+        ("greedy", greedy.weight(wg)),
+    ] {
+        assert!(w >= inst.opt_weight - 1e-9, "{name} beat OPT");
+        assert!(
+            w <= (2.0 + 30.0 * EPS) * inst.opt_weight,
+            "{name}: {w} vs OPT {}",
+            inst.opt_weight
+        );
+    }
+}
+
+#[test]
+fn lp_bound_sandwiches_every_algorithm() {
+    let g = gnm(500, 6000, 41);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Exponential { mean: 4.0 }.sample(&g, 13),
+    );
+    let lp = lp_optimum(&wg);
+    assert!(lp.verify(&wg, 1e-7));
+    let mpc = run_reference(&wg, &MpcMwvcConfig::practical(EPS, 43));
+    let w = mpc.cover.weight(&wg);
+    assert!(w >= lp.value - 1e-6, "no cover can beat the LP bound");
+    assert!(
+        w <= 2.0 * (2.0 + 30.0 * EPS) * lp.value,
+        "sanity: within guarantee of 2*LP >= OPT"
+    );
+}
+
+#[test]
+fn paper_and_practical_profiles_both_solve() {
+    let g = gnm(800, 12800, 51);
+    let wg = WeightedGraph::new(
+        g.clone(),
+        WeightModel::Uniform { lo: 1.0, hi: 5.0 }.sample(&g, 3),
+    );
+    for cfg in [MpcMwvcConfig::paper(EPS, 1), MpcMwvcConfig::practical(EPS, 1)] {
+        let res = run_reference(&wg, &cfg);
+        res.cover.verify(&wg.graph).unwrap();
+    }
+}
+
+#[test]
+fn unweighted_equals_weight_one() {
+    // WeightedGraph::unweighted and Constant(1.0) must behave identically.
+    let g = gnm(300, 2400, 61);
+    let a = WeightedGraph::unweighted(g.clone());
+    let b = WeightedGraph::new(g.clone(), WeightModel::Constant(1.0).sample(&g, 0));
+    let cfg = MpcMwvcConfig::practical(EPS, 71);
+    let ra = run_reference(&a, &cfg);
+    let rb = run_reference(&b, &cfg);
+    assert_eq!(ra.cover, rb.cover);
+}
