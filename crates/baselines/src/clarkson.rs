@@ -34,13 +34,7 @@ pub fn clarkson_cover(wg: &WeightedGraph) -> VertexCover {
     let mut heap: BinaryHeap<(Reverse<OrdF64>, VertexId, u32)> = g
         .vertices()
         .filter(|&v| active_deg[v as usize] > 0)
-        .map(|v| {
-            (
-                Reverse(ratio(&residual, &active_deg, v as usize)),
-                v,
-                0u32,
-            )
-        })
+        .map(|v| (Reverse(ratio(&residual, &active_deg, v as usize)), v, 0u32))
         .collect();
 
     while remaining_edges > 0 {
@@ -100,7 +94,11 @@ mod tests {
     fn covers_everything() {
         for seed in 0..5 {
             let g = gnp(200, 0.05, seed);
-            let w = WeightModel::Zipf { exponent: 1.3, scale: 30.0 }.sample(&g, seed);
+            let w = WeightModel::Zipf {
+                exponent: 1.3,
+                scale: 30.0,
+            }
+            .sample(&g, seed);
             let wg = WeightedGraph::new(g, w);
             clarkson_cover(&wg).verify(&wg.graph).unwrap();
         }

@@ -47,7 +47,11 @@ pub fn exact_mwvc(wg: &WeightedGraph) -> ExactResult {
         .filter(|&v| solver.best_cover & (1u64 << v) != 0)
         .collect();
     ExactResult {
-        weight: if solver.best.is_finite() { solver.best } else { 0.0 },
+        weight: if solver.best.is_finite() {
+            solver.best
+        } else {
+            0.0
+        },
         cover,
         nodes: solver.nodes,
     }
@@ -180,7 +184,10 @@ mod tests {
     #[test]
     fn unweighted_classics() {
         // K5: OPT = 4. Star(9): OPT = 1. P5 (4 edges): OPT = 2.
-        assert_eq!(exact_mwvc(&WeightedGraph::unweighted(clique(5))).weight, 4.0);
+        assert_eq!(
+            exact_mwvc(&WeightedGraph::unweighted(clique(5))).weight,
+            4.0
+        );
         assert_eq!(exact_mwvc(&WeightedGraph::unweighted(star(9))).weight, 1.0);
         assert_eq!(exact_mwvc(&WeightedGraph::unweighted(path(5))).weight, 2.0);
     }
@@ -189,10 +196,7 @@ mod tests {
     fn weighted_star_prefers_heavy_center_leaves() {
         // Heavy center, light leaves: cover with all leaves.
         let g = star(5);
-        let wg = WeightedGraph::new(
-            g,
-            VertexWeights::from_vec(vec![100.0, 1.0, 1.0, 1.0, 1.0]),
-        );
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![100.0, 1.0, 1.0, 1.0, 1.0]));
         let r = exact_mwvc(&wg);
         assert_eq!(r.weight, 4.0);
         assert_eq!(r.cover, vec![1, 2, 3, 4]);

@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn greedy_avoids_expensive_center_when_justified() {
         let g = star(4);
-        let wg = WeightedGraph::new(
-            g,
-            VertexWeights::from_vec(vec![30.0, 1.0, 1.0, 1.0]),
-        );
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![30.0, 1.0, 1.0, 1.0]));
         let c = greedy_ratio_cover(&wg);
         c.verify(&wg.graph).unwrap();
         // center ratio 30/3 = 10 > leaf ratio 1: leaves win.
@@ -125,7 +122,11 @@ mod tests {
     fn greedy_always_covers() {
         for seed in 0..5 {
             let g = gnp(150, 0.05, seed);
-            let w = WeightModel::Zipf { exponent: 1.1, scale: 20.0 }.sample(&g, seed);
+            let w = WeightModel::Zipf {
+                exponent: 1.1,
+                scale: 20.0,
+            }
+            .sample(&g, seed);
             let wg = WeightedGraph::new(g, w);
             let c = greedy_ratio_cover(&wg);
             c.verify(&wg.graph).unwrap();

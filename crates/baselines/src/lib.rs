@@ -187,8 +187,14 @@ mod tests {
         let wg = WeightedGraph::new(g, w);
         let algorithms = [
             Algorithm::MpcRoundCompression(MpcMwvcConfig::practical(0.1, 3)),
-            Algorithm::Centralized { epsilon: 0.1, seed: 3 },
-            Algorithm::LocalBaseline { epsilon: 0.1, seed: 3 },
+            Algorithm::Centralized {
+                epsilon: 0.1,
+                seed: 3,
+            },
+            Algorithm::LocalBaseline {
+                epsilon: 0.1,
+                seed: 3,
+            },
             Algorithm::BarYehudaEven,
             Algorithm::Greedy,
             Algorithm::Clarkson,
@@ -202,13 +208,13 @@ mod tests {
             run.cover
                 .verify(&wg.graph)
                 .unwrap_or_else(|e| panic!("{}: uncovered edge {e:?}", run.name));
-            assert!(
-                run.weight >= opt - 1e-9,
-                "{} beat the optimum?!",
-                run.name
-            );
+            assert!(run.weight >= opt - 1e-9, "{} beat the optimum?!", run.name);
             if let Some(lb) = run.self_lower_bound {
-                assert!(lb <= opt + 1e-6, "{}: bogus lower bound {lb} > OPT {opt}", run.name);
+                assert!(
+                    lb <= opt + 1e-6,
+                    "{}: bogus lower bound {lb} > OPT {opt}",
+                    run.name
+                );
             }
         }
     }

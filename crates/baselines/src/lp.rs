@@ -74,9 +74,11 @@ impl LpBound {
         {
             return false;
         }
-        if !wg.graph.edges().all(|e| {
-            self.solution[e.u() as usize] + self.solution[e.v() as usize] >= 1.0 - tol
-        }) {
+        if !wg
+            .graph
+            .edges()
+            .all(|e| self.solution[e.u() as usize] + self.solution[e.v() as usize] >= 1.0 - tol)
+        {
             return false;
         }
         let obj: f64 = self
@@ -125,7 +127,11 @@ impl NtKernel {
     /// instance (kernel cover ∪ forced vertices).
     pub fn lift(&self, kernel_cover: &[u32]) -> Vec<u32> {
         let mut cover: Vec<u32> = self.forced.clone();
-        cover.extend(kernel_cover.iter().map(|&v| self.kernel_to_original[v as usize]));
+        cover.extend(
+            kernel_cover
+                .iter()
+                .map(|&v| self.kernel_to_original[v as usize]),
+        );
         cover.sort_unstable();
         cover
     }
@@ -217,7 +223,10 @@ mod tests {
         // Even path (bipartite): LP = integral OPT.
         let wg = unweighted(path(6)); // OPT(P6, 5 edges) = 2? vertices 1 and 3 cover edges 0-1,1-2,2-3,3-4; edge 4-5 uncovered -> need 3.
         let lp = lp_optimum(&wg);
-        assert!((lp.value.round() - lp.value).abs() < 1e-9, "integral on bipartite");
+        assert!(
+            (lp.value.round() - lp.value).abs() < 1e-9,
+            "integral on bipartite"
+        );
         assert!((lp.value - 3.0).abs() < 1e-9);
         assert!(lp.verify(&wg, 1e-9));
     }

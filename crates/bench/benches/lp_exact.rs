@@ -13,9 +13,11 @@ fn bench_lp(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, d) in &[(2_000usize, 16usize), (10_000, 32)] {
         let wg = er_instance(n, d, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, 3);
-        group.bench_with_input(BenchmarkId::new("dinic", format!("n{n}_d{d}")), &wg, |b, wg| {
-            b.iter(|| lp_optimum(wg))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dinic", format!("n{n}_d{d}")),
+            &wg,
+            |b, wg| b.iter(|| lp_optimum(wg)),
+        );
     }
     group.finish();
 }

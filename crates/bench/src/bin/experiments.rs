@@ -42,7 +42,9 @@ fn main() {
         let known: Vec<&str> = registry.iter().map(|(id, _)| *id).collect();
         for id in &ids {
             if !known.contains(&id.as_str()) {
-                usage(&format!("unknown experiment {id:?}; known: {known:?} or 'all'"));
+                usage(&format!(
+                    "unknown experiment {id:?}; known: {known:?} or 'all'"
+                ));
             }
         }
         registry

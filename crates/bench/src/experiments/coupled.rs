@@ -29,7 +29,9 @@ pub fn e06_deviations() -> Vec<Table> {
     for &d in &[16usize, 64, 256, 1024] {
         let wg = instance(4096, d, 31 + d as u64);
         let (_, rep) = run_coupled(&wg, &MpcMwvcConfig::practical(eps, 17));
-        let Some(p0) = rep.phases.first() else { continue };
+        let Some(p0) = rep.phases.first() else {
+            continue;
+        };
         let mean: f64 = p0
             .per_iteration
             .iter()
@@ -67,7 +69,9 @@ pub fn e07_bad_vertices() -> Vec<Table> {
     for &d in &[16usize, 64, 256, 1024] {
         let wg = instance(4096, d, 51 + d as u64);
         let (_, rep) = run_coupled(&wg, &MpcMwvcConfig::practical(eps, 19));
-        let Some(p0) = rep.phases.first() else { continue };
+        let Some(p0) = rep.phases.first() else {
+            continue;
+        };
         summary.push(vec![
             d.to_string(),
             p0.n_high.to_string(),
@@ -111,7 +115,10 @@ pub fn e12_threshold_ablation() -> Vec<Table> {
     for &d in &[64usize, 256] {
         let wg = instance(4096, d, 71 + d as u64);
         let lp = mwvc_baselines::lp_optimum(&wg).value;
-        for scheme in [ThresholdScheme::UniformRandom, ThresholdScheme::FixedMidpoint] {
+        for scheme in [
+            ThresholdScheme::UniformRandom,
+            ThresholdScheme::FixedMidpoint,
+        ] {
             let mut cfg = MpcMwvcConfig::practical(eps, 23);
             cfg.thresholds = scheme;
             let (res, rep) = run_coupled(&wg, &cfg);
@@ -133,13 +140,23 @@ pub fn e12_threshold_ablation() -> Vec<Table> {
 
     let mut boundary = Table::new(
         "E12b Boundary-crowded instance: newly-bad vertices per iteration (phase 0)",
-        &["thresholds", "bias", "I", "newly bad by t", "total bad", "late-iteration share"],
+        &[
+            "thresholds",
+            "bias",
+            "I",
+            "newly bad by t",
+            "total bad",
+            "late-iteration share",
+        ],
     );
     // Every core vertex follows y_t/w' = 0.5 * (1/0.9)^t inside the phase:
     // the population crosses the [1-4e, 1-2e] window together.
     let wg = crate::workloads::boundary_instance(4096, 64, 64, 0.005, 10.0, 3);
     for &coeff in &[0.2f64, 0.0] {
-        for scheme in [ThresholdScheme::UniformRandom, ThresholdScheme::FixedMidpoint] {
+        for scheme in [
+            ThresholdScheme::UniformRandom,
+            ThresholdScheme::FixedMidpoint,
+        ] {
             let mut cfg = MpcMwvcConfig::practical(eps, 23);
             cfg.switch = mwvc_core::mpc::PhaseSwitch::AvgDegree(1.5);
             cfg.thresholds = scheme;
@@ -149,7 +166,9 @@ pub fn e12_threshold_ablation() -> Vec<Table> {
                 exponent: 0.5,
             };
             let (_, rep) = run_coupled(&wg, &cfg);
-            let Some(p0) = rep.phases.first() else { continue };
+            let Some(p0) = rep.phases.first() else {
+                continue;
+            };
             let newly: Vec<usize> = p0.per_iteration.iter().map(|i| i.newly_bad).collect();
             let total: usize = newly.iter().sum();
             let late: usize = newly.iter().skip(newly.len() / 2).sum();
@@ -177,8 +196,12 @@ pub fn e13_bias_ablation() -> Vec<Table> {
     let mut t = Table::new(
         "E13 Bias ablation (n=4096, d=256, eps=0.1)",
         &[
-            "bias coeff", "one-sided violations", "bad fraction",
-            "cover weight", "w/LP*", "certified",
+            "bias coeff",
+            "one-sided violations",
+            "bad fraction",
+            "cover weight",
+            "w/LP*",
+            "certified",
         ],
     );
     for &coeff in &[0.0f64, 0.25, 0.5, 1.0, 2.0] {

@@ -15,7 +15,13 @@ pub fn e04_machine_memory() -> Vec<Table> {
     let d = 256;
     let mut t = Table::new(
         "E04 Max per-machine induced subgraph |E[Vi]| (d=256, practical profile)",
-        &["n", "phases", "max |E[Vi]|", "max |E[Vi]| / n", "machines (phase 0)"],
+        &[
+            "n",
+            "phases",
+            "max |E[Vi]|",
+            "max |E[Vi]| / n",
+            "machines (phase 0)",
+        ],
     );
     for &n in &[1usize << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16] {
         let wg = er_instance(n, d, WeightModel::Uniform { lo: 1.0, hi: 10.0 }, n as u64);
@@ -52,8 +58,14 @@ pub fn e05_edge_shrink() -> Vec<Table> {
     let mut t = Table::new(
         "E05 Per-phase edge shrink vs Lemma 4.4 bound (n=16384, power-law d0~512, paper_scaled)",
         &[
-            "phase", "d", "m", "I", "edges before", "edges after",
-            "bound 2nd(1-e)^I", "after/bound",
+            "phase",
+            "d",
+            "m",
+            "I",
+            "edges before",
+            "edges after",
+            "bound 2nd(1-e)^I",
+            "after/bound",
         ],
     );
     for p in &res.phases {
@@ -81,8 +93,16 @@ pub fn e11_model_audit() -> Vec<Table> {
     let mut t = Table::new(
         "E11 Distributed execution audit (d=32, practical profile)",
         &[
-            "n", "machines", "S (words)", "rounds", "peak resident", "resident/S",
-            "peak traffic", "total traffic", "violations", "clique rounds",
+            "n",
+            "machines",
+            "S (words)",
+            "rounds",
+            "peak resident",
+            "resident/S",
+            "peak traffic",
+            "total traffic",
+            "violations",
+            "clique rounds",
         ],
     );
     for &n in &[1000usize, 2000, 4000, 8000] {
@@ -97,7 +117,10 @@ pub fn e11_model_audit() -> Vec<Table> {
             cluster.memory_words.to_string(),
             out.trace.num_rounds().to_string(),
             out.trace.peak_resident().to_string(),
-            f(out.trace.peak_resident() as f64 / cluster.memory_words as f64, 3),
+            f(
+                out.trace.peak_resident() as f64 / cluster.memory_words as f64,
+                3,
+            ),
             out.trace.peak_traffic().to_string(),
             out.trace.total_traffic().to_string(),
             out.trace.violations.len().to_string(),

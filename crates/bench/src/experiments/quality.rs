@@ -16,7 +16,12 @@ use mwvc_graph::{EdgeIndex, WeightModel, WeightedGraph};
 pub fn e03_approx_ratio() -> Vec<Table> {
     let mut small = Table::new(
         "E03a Approximation ratio vs exact OPT (n=48, G(n,p), 5-seed mean)",
-        &["eps", "central ratio", "mpc ratio", "guarantee 2+10e / 2+30e"],
+        &[
+            "eps",
+            "central ratio",
+            "mpc ratio",
+            "guarantee 2+10e / 2+30e",
+        ],
     );
     for &eps in &[0.02f64, 0.05, 0.1, 0.2] {
         let mut c_sum = 0.0;
@@ -54,12 +59,7 @@ pub fn e03_approx_ratio() -> Vec<Table> {
         let res = run_reference(&wg, &MpcMwvcConfig::practical(eps, 7));
         let m = res.cover.weight(&wg);
         let cert = res.certificate.certified_ratio(&wg, &eidx, m);
-        large.push(vec![
-            f(eps, 2),
-            f(c / lp, 3),
-            f(m / lp, 3),
-            f(cert, 3),
-        ]);
+        large.push(vec![f(eps, 2), f(c / lp, 3), f(m / lp, 3), f(cert, 3)]);
     }
     vec![small, large]
 }
@@ -70,17 +70,32 @@ pub fn e03_approx_ratio() -> Vec<Table> {
 pub fn e08_algorithm_comparison() -> Vec<Table> {
     let eps = 0.1;
     let uniform = WeightModel::Uniform { lo: 1.0, hi: 10.0 };
-    let zipf = WeightModel::Zipf { exponent: 1.2, scale: 100.0 };
+    let zipf = WeightModel::Zipf {
+        exponent: 1.2,
+        scale: 100.0,
+    };
     let (planted, planted_opt) = planted_instance(500, 5);
     let suites: Vec<(String, WeightedGraph, Option<f64>)> = vec![
-        ("er-uniform n=2000 d=32".into(), er_instance(2000, 32, uniform, 1), None),
-        ("er-zipf n=2000 d=32".into(), er_instance(2000, 32, zipf, 2), None),
+        (
+            "er-uniform n=2000 d=32".into(),
+            er_instance(2000, 32, uniform, 1),
+            None,
+        ),
+        (
+            "er-zipf n=2000 d=32".into(),
+            er_instance(2000, 32, zipf, 2),
+            None,
+        ),
         (
             "power-law n=2000 d=16".into(),
             power_law_instance(2000, 16.0, uniform, 3),
             None,
         ),
-        ("rmat scale=11 ef=8".into(), rmat_instance(11, 8, uniform, 4), None),
+        (
+            "rmat scale=11 ef=8".into(),
+            rmat_instance(11, 8, uniform, 4),
+            None,
+        ),
         ("planted hubs=500".into(), planted, Some(planted_opt)),
     ];
     let mut tables = Vec::new();
@@ -98,8 +113,14 @@ pub fn e08_algorithm_comparison() -> Vec<Table> {
         );
         let algorithms = [
             Algorithm::MpcRoundCompression(MpcMwvcConfig::practical(eps, 11)),
-            Algorithm::Centralized { epsilon: eps, seed: 11 },
-            Algorithm::LocalBaseline { epsilon: eps, seed: 11 },
+            Algorithm::Centralized {
+                epsilon: eps,
+                seed: 11,
+            },
+            Algorithm::LocalBaseline {
+                epsilon: eps,
+                seed: 11,
+            },
             Algorithm::BarYehudaEven,
             Algorithm::Greedy,
             Algorithm::Clarkson,
@@ -128,7 +149,12 @@ pub fn e10_weight_robustness() -> Vec<Table> {
     let mut t = Table::new(
         "E10 Weight-model robustness (n=4096, d=64, practical profile, eps=0.1)",
         &[
-            "weights", "cover weight", "w/LP*", "certified", "phases", "rounds",
+            "weights",
+            "cover weight",
+            "w/LP*",
+            "certified",
+            "phases",
+            "rounds",
         ],
     );
     for (name, model) in weight_models() {

@@ -5,9 +5,7 @@ use crate::table::{f, Table};
 use crate::workloads::{er_instance, power_law_instance, skewed_instance};
 use mwvc_baselines::local_baseline;
 use mwvc_core::mpc::{run_reference, MpcMwvcConfig};
-use mwvc_core::{
-    run_centralized, CentralizedParams, InitScheme, ThresholdScheme,
-};
+use mwvc_core::{run_centralized, CentralizedParams, InitScheme, ThresholdScheme};
 use mwvc_graph::{WeightModel, WeightedGraph};
 
 /// E01 — Theorem 1.1/4.5: MPC rounds grow like `O(log log d)`.
@@ -25,8 +23,15 @@ pub fn e01_rounds_vs_degree() -> Vec<Table> {
     let mut table = Table::new(
         "E01 Rounds vs average degree (n = 16384, power-law, paper_scaled profile)",
         &[
-            "d target", "d", "loglog d", "eps", "phases", "mpc rounds",
-            "phases/loglog d", "local rounds", "local/log d",
+            "d target",
+            "d",
+            "loglog d",
+            "eps",
+            "phases",
+            "mpc rounds",
+            "phases/loglog d",
+            "local rounds",
+            "local/log d",
         ],
     );
     for &d in &[8usize, 16, 32, 64, 128, 256, 512, 1024] {
@@ -69,11 +74,22 @@ pub fn e02_centralized_iterations() -> Vec<Table> {
     let eps = 0.1;
     let mut by_delta = Table::new(
         "E02a Centralized iterations vs max degree (w/d init, weights U[1,1e6])",
-        &["n", "d", "Delta", "iterations", "bound log_{1/(1-eps)} Delta + 2"],
+        &[
+            "n",
+            "d",
+            "Delta",
+            "iterations",
+            "bound log_{1/(1-eps)} Delta + 2",
+        ],
     );
     for &d in &[8usize, 32, 128, 512] {
         let n = 4096;
-        let wg = er_instance(n, d, WeightModel::Uniform { lo: 1.0, hi: 1e6 }, 7 + d as u64);
+        let wg = er_instance(
+            n,
+            d,
+            WeightModel::Uniform { lo: 1.0, hi: 1e6 },
+            7 + d as u64,
+        );
         let delta = wg.graph.max_degree();
         let res = run_centralized(
             &wg,
@@ -110,7 +126,10 @@ pub fn e02_centralized_iterations() -> Vec<Table> {
         let wg = er_instance(
             4096,
             32,
-            WeightModel::Uniform { lo: 1.0, hi: w_hi.max(1.0 + 1e-9) },
+            WeightModel::Uniform {
+                lo: 1.0,
+                hi: w_hi.max(1.0 + 1e-9),
+            },
             11,
         );
         by_scale.push(vec![
@@ -131,8 +150,16 @@ pub fn e09_init_comparison() -> Vec<Table> {
     let mut table = Table::new(
         "E09 Phase counts: w/d vs w/Delta init on hub-skewed graphs",
         &[
-            "hubs", "leaves/hub", "n", "d", "Delta", "skew",
-            "phases w/d", "rounds w/d", "phases w/Delta", "rounds w/Delta",
+            "hubs",
+            "leaves/hub",
+            "n",
+            "d",
+            "Delta",
+            "skew",
+            "phases w/d",
+            "rounds w/d",
+            "phases w/Delta",
+            "rounds w/Delta",
         ],
     );
     for &(hubs, leaves) in &[(64usize, 64usize), (32, 256), (16, 1024), (8, 4096)] {

@@ -19,7 +19,12 @@ pub fn power_law_instance(n: usize, d: f64, model: WeightModel, seed: u64) -> We
 }
 
 /// An R-MAT instance (Graph500-style skew).
-pub fn rmat_instance(scale: u32, edge_factor: usize, model: WeightModel, seed: u64) -> WeightedGraph {
+pub fn rmat_instance(
+    scale: u32,
+    edge_factor: usize,
+    model: WeightModel,
+    seed: u64,
+) -> WeightedGraph {
     let g = rmat(scale, edge_factor, RmatParams::default(), seed);
     let w = model.sample(&g, seed ^ 0xfeed);
     WeightedGraph::new(g, w)
@@ -89,10 +94,19 @@ pub fn weight_models() -> Vec<(&'static str, WeightModel)> {
         ("constant", WeightModel::Constant(1.0)),
         ("uniform", WeightModel::Uniform { lo: 1.0, hi: 10.0 }),
         ("exponential", WeightModel::Exponential { mean: 5.0 }),
-        ("zipf", WeightModel::Zipf { exponent: 1.2, scale: 100.0 }),
+        (
+            "zipf",
+            WeightModel::Zipf {
+                exponent: 1.2,
+                scale: 100.0,
+            },
+        ),
         (
             "deg-prop",
-            WeightModel::DegreeProportional { base: 1.0, slope: 0.5 },
+            WeightModel::DegreeProportional {
+                base: 1.0,
+                slope: 0.5,
+            },
         ),
         ("deg-inv", WeightModel::DegreeInverse { scale: 50.0 }),
     ]
@@ -127,7 +141,10 @@ mod tests {
         let wg = er_instance(100, 8, WeightModel::Constant(1.0), 1);
         for (name, model) in weight_models() {
             let w = model.sample(&wg.graph, 2);
-            assert!(w.iter().all(|x| x > 0.0), "{name} produced nonpositive weight");
+            assert!(
+                w.iter().all(|x| x > 0.0),
+                "{name} produced nonpositive weight"
+            );
         }
     }
 }

@@ -265,9 +265,7 @@ mod tests {
     fn star_guarantees() {
         let wg = WeightedGraph::new(
             star(20),
-            VertexWeights::from_vec(
-                std::iter::once(1.0).chain((1..20).map(|_| 10.0)).collect(),
-            ),
+            VertexWeights::from_vec(std::iter::once(1.0).chain((1..20).map(|_| 10.0)).collect()),
         );
         let res = run(&wg, InitScheme::DegreeWeighted);
         check_guarantees(&wg, &res);
@@ -296,7 +294,10 @@ mod tests {
         for model in [
             WeightModel::Constant(1.0),
             WeightModel::Uniform { lo: 0.5, hi: 20.0 },
-            WeightModel::Zipf { exponent: 1.2, scale: 50.0 },
+            WeightModel::Zipf {
+                exponent: 1.2,
+                scale: 50.0,
+            },
         ] {
             let weights = model.sample(&g, 3);
             let wg = WeightedGraph::new(g.clone(), weights);

@@ -67,12 +67,7 @@ impl DualCertificate {
 
     /// Certified approximation ratio of a cover of weight `cover_weight`:
     /// `cover_weight / lower_bound`. The true ratio to OPT is at most this.
-    pub fn certified_ratio(
-        &self,
-        wg: &WeightedGraph,
-        eidx: &EdgeIndex,
-        cover_weight: f64,
-    ) -> f64 {
+    pub fn certified_ratio(&self, wg: &WeightedGraph, eidx: &EdgeIndex, cover_weight: f64) -> f64 {
         let lb = self.lower_bound(wg, eidx);
         assert!(lb > 0.0, "certificate carries no information (Σx = 0)");
         cover_weight / lb

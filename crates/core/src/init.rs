@@ -196,7 +196,11 @@ mod tests {
                 "{} violates dual constraints",
                 scheme.label()
             );
-            assert!(x.iter().all(|&v| v > 0.0), "{} has zero entries", scheme.label());
+            assert!(
+                x.iter().all(|&v| v > 0.0),
+                "{} has zero entries",
+                scheme.label()
+            );
         }
     }
 
@@ -206,9 +210,27 @@ mod tests {
         let eidx = EdgeIndex::build(&g);
         let w = vec![1.0, 1.0, 1.0];
         // y_0 = 2 > w_0 = 1.
-        assert!(!is_valid_fractional_matching(&g, &eidx, &w, &[1.0, 1.0], 1e-9));
-        assert!(!is_valid_fractional_matching(&g, &eidx, &w, &[-0.5, 0.5], 1e-9));
-        assert!(is_valid_fractional_matching(&g, &eidx, &w, &[0.5, 0.5], 1e-9));
+        assert!(!is_valid_fractional_matching(
+            &g,
+            &eidx,
+            &w,
+            &[1.0, 1.0],
+            1e-9
+        ));
+        assert!(!is_valid_fractional_matching(
+            &g,
+            &eidx,
+            &w,
+            &[-0.5, 0.5],
+            1e-9
+        ));
+        assert!(is_valid_fractional_matching(
+            &g,
+            &eidx,
+            &w,
+            &[0.5, 0.5],
+            1e-9
+        ));
     }
 
     #[test]

@@ -52,11 +52,7 @@ use mwvc_graph::WeightedGraph;
 
 /// Solves MWVC with the centralized Algorithm 1 under the paper's
 /// recommended (degree-weighted) initialization and random thresholds.
-pub fn solve_centralized(
-    instance: &WeightedGraph,
-    epsilon: f64,
-    seed: u64,
-) -> CentralizedResult {
+pub fn solve_centralized(instance: &WeightedGraph, epsilon: f64, seed: u64) -> CentralizedResult {
     run_centralized(
         instance,
         CentralizedParams::new(epsilon),

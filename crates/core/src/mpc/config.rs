@@ -94,7 +94,9 @@ impl BiasParams {
         let m = (machines.max(1)) as f64;
         let base = self.coeff * m.powf(-self.exponent);
         let growth = m.powf(self.exponent / (2.0 * iterations.max(1) as f64));
-        (0..=iterations).map(|t| base * growth.powi(t as i32)).collect()
+        (0..=iterations)
+            .map(|t| base * growth.powi(t as i32))
+            .collect()
     }
 }
 

@@ -108,7 +108,9 @@ impl CouplingReport {
             .phases
             .iter()
             .flat_map(|p| p.per_iteration.iter())
-            .fold((0.0, 0usize), |(s, c), d| (s + d.one_sided_violations, c + 1));
+            .fold((0.0, 0usize), |(s, c), d| {
+                (s + d.one_sided_violations, c + 1)
+            });
         if count == 0 {
             0.0
         } else {
@@ -230,8 +232,7 @@ impl PhaseObserver for CouplingObserver {
                         y_local += xm;
                     }
                 }
-                let y_tilde =
-                    snap.bias[t as usize] * w + snap.machines as f64 * y_local;
+                let y_tilde = snap.bias[t as usize] * w + snap.machines as f64 * y_local;
                 let dev_est = (y - y_tilde).abs() / w;
                 let dev_glob = (y - y_mpc).abs() / w;
                 max_dev_est = max_dev_est.max(dev_est);
@@ -274,10 +275,7 @@ impl PhaseObserver for CouplingObserver {
 /// Runs Algorithm 2 with the coupled centralized run of Lemma 4.6 attached
 /// to every phase, returning both the normal result and the coupling
 /// report.
-pub fn run_coupled(
-    wg: &WeightedGraph,
-    config: &MpcMwvcConfig,
-) -> (MpcRunResult, CouplingReport) {
+pub fn run_coupled(wg: &WeightedGraph, config: &MpcMwvcConfig) -> (MpcRunResult, CouplingReport) {
     let mut obs = CouplingObserver {
         report: CouplingReport { phases: Vec::new() },
     };
@@ -358,10 +356,7 @@ mod tests {
         let (_, rep_off) = run_coupled(&wg, &without_bias);
         let v_on = rep_on.total_one_sided_violations();
         let v_off = rep_off.total_one_sided_violations();
-        assert!(
-            v_on < 0.05,
-            "bias on: {v_on} of estimates fell below truth"
-        );
+        assert!(v_on < 0.05, "bias on: {v_on} of estimates fell below truth");
         assert!(
             v_off > 3.0 * v_on + 0.05,
             "bias off should err both ways: on={v_on} off={v_off}"

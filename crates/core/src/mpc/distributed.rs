@@ -88,20 +88,63 @@ pub(crate) enum PlanKind {
 /// All messages of the dataflow.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Msg {
-    Subscribe { v: u32, home: u32, count: u32 },
-    ActiveCount { count: u64 },
-    OwnerStats { max_resid_deg: u32, min_wp: f64 },
+    Subscribe {
+        v: u32,
+        home: u32,
+        count: u32,
+    },
+    ActiveCount {
+        count: u64,
+    },
+    OwnerStats {
+        max_resid_deg: u32,
+        min_wp: f64,
+    },
     Plan(PlanMsg),
-    VertexInfo { v: u32, class: u8, w_prime: f64, resid_deg: u32 },
-    SimVertex { v: u32, w_prime: f64 },
-    SimEdge { geid: u32, u: u32, v: u32, x0: f64 },
-    FreezeIter { v: u32, t: u32 },
-    PartialY { v: u32, y: f64 },
-    FinalFrozen { v: u32 },
-    Delta { v: u32, d_inc: f64, d_deg: u32 },
-    FinalEdge { geid: u32, u: u32, v: u32 },
-    FinalVertex { v: u32, w_prime: f64 },
-    FrozenNotice { v: u32 },
+    VertexInfo {
+        v: u32,
+        class: u8,
+        w_prime: f64,
+        resid_deg: u32,
+    },
+    SimVertex {
+        v: u32,
+        w_prime: f64,
+    },
+    SimEdge {
+        geid: u32,
+        u: u32,
+        v: u32,
+        x0: f64,
+    },
+    FreezeIter {
+        v: u32,
+        t: u32,
+    },
+    PartialY {
+        v: u32,
+        y: f64,
+    },
+    FinalFrozen {
+        v: u32,
+    },
+    Delta {
+        v: u32,
+        d_inc: f64,
+        d_deg: u32,
+    },
+    FinalEdge {
+        geid: u32,
+        u: u32,
+        v: u32,
+    },
+    FinalVertex {
+        v: u32,
+        w_prime: f64,
+    },
+    FrozenNotice {
+        v: u32,
+    },
 }
 
 impl Words for Msg {
@@ -210,11 +253,7 @@ struct MachineState {
 
 impl Words for MachineState {
     fn words(&self) -> usize {
-        let idx_words: usize = self
-            .endpoint_index
-            .values()
-            .map(|v| 1 + v.len())
-            .sum();
+        let idx_words: usize = self.endpoint_index.values().map(|v| 1 + v.len()).sum();
         HOME_EDGE_WORDS * self.home_edges.len()
             + idx_words
             + self
@@ -267,7 +306,11 @@ pub struct DistributedOutcome {
 pub fn recommended_cluster(wg: &WeightedGraph, config: &MpcMwvcConfig) -> MpcConfig {
     let n = wg.num_vertices();
     let e = wg.num_edges();
-    let d0 = if n == 0 { 0.0 } else { 2.0 * e as f64 / n as f64 };
+    let d0 = if n == 0 {
+        0.0
+    } else {
+        2.0 * e as f64 / n as f64
+    };
     let final_edges_cap = match config.switch {
         PhaseSwitch::PaperLog30 => e,
         PhaseSwitch::AvgDegree(t) => e.min(((t * n as f64) / 2.0).ceil() as usize),
@@ -276,10 +319,7 @@ pub fn recommended_cluster(wg: &WeightedGraph, config: &MpcMwvcConfig) -> MpcCon
     let s = (12 * n + 4 * (3 * final_edges_cap + 2 * n)).max(256);
     let input_words = 3 * e + 2 * n;
     let m0 = config.machines_for(d0);
-    let machines = (12 * input_words)
-        .div_ceil(s)
-        .max(m0)
-        .max(2);
+    let machines = (12 * input_words).div_ceil(s).max(m0).max(2);
     MpcConfig::new(machines, s)
 }
 
@@ -352,7 +392,9 @@ pub fn run_distributed(
     // `owned` is ascending by construction (vertex ids visited in order).
     let mut cluster: Cluster<MachineState, Msg> = {
         let mut it = states.into_iter();
-        Cluster::new(cluster_cfg, move |_| it.next().expect("one state per machine"))
+        Cluster::new(cluster_cfg, move |_| {
+            it.next().expect("one state per machine")
+        })
     };
 
     // ── Startup: homes announce themselves to every endpoint's owner.
@@ -410,7 +452,13 @@ pub fn run_distributed(
                     min_wp = min_wp.min((o.weight - o.frozen_inc).max(0.0));
                 }
             }
-            ctx.send(0, Msg::OwnerStats { max_resid_deg, min_wp });
+            ctx.send(
+                0,
+                Msg::OwnerStats {
+                    max_resid_deg,
+                    min_wp,
+                },
+            );
         });
 
         // ── plan: the coordinator evaluates the loop condition (2) and
@@ -426,7 +474,10 @@ pub fn run_distributed(
             for m in inbox {
                 match m {
                     Msg::ActiveCount { count } => total_active += count,
-                    Msg::OwnerStats { max_resid_deg, min_wp: mw } => {
+                    Msg::OwnerStats {
+                        max_resid_deg,
+                        min_wp: mw,
+                    } => {
                         delta = delta.max(max_resid_deg);
                         min_wp = min_wp.min(mw);
                     }
@@ -434,9 +485,7 @@ pub fn run_distributed(
                 }
             }
             let d_avg = 2.0 * total_active as f64 / st.n.max(1) as f64;
-            let switch = cfg
-                .switch
-                .should_switch(d_avg, st.n, total_active as usize);
+            let switch = cfg.switch.should_switch(d_avg, st.n, total_active as usize);
             let stalled = coord.prev_active == Some(total_active) && total_active > 0;
             let over_cap = coord.phase as usize >= cfg.max_phases;
             let kind = if switch || stalled || over_cap {
@@ -585,7 +634,11 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
                         let idxs = idxs.clone();
                         for i in idxs {
                             let e = &mut st.home_edges[i as usize];
-                            let cache = if e.u == v { &mut e.u_cache } else { &mut e.v_cache };
+                            let cache = if e.u == v {
+                                &mut e.u_cache
+                            } else {
+                                &mut e.v_cache
+                            };
                             *cache = EpCache {
                                 class,
                                 w_prime,
@@ -601,7 +654,10 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
             }
         }
         let plan = st.plan.expect("plan is set");
-        let PlanKind::RunPhase { m, delta, min_wp, .. } = plan.kind else {
+        let PlanKind::RunPhase {
+            m, delta, min_wp, ..
+        } = plan.kind
+        else {
             unreachable!();
         };
         let part_seed = partition_seed(cfg.seed, plan.phase as usize);
@@ -653,8 +709,7 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
             st.sim_vertices.sort_unstable_by_key(|&(v, _)| v);
             st.sim_edges.sort_unstable_by_key(|&(geid, ..)| geid);
             let vertices: Vec<VertexId> = st.sim_vertices.iter().map(|&(v, _)| v).collect();
-            let residual_weights: Vec<f64> =
-                st.sim_vertices.iter().map(|&(_, w)| w).collect();
+            let residual_weights: Vec<f64> = st.sim_vertices.iter().map(|&(_, w)| w).collect();
             let pos = |v: u32| -> u32 {
                 vertices
                     .binary_search(&v)
@@ -691,7 +746,10 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
             for (i, f) in out.freeze_iter.iter().enumerate() {
                 let v = inst.vertices[i];
                 let t = f.unwrap_or(iterations as u32);
-                ctx.send(owner_of_key(v as u64, ctx.num_machines()), Msg::FreezeIter { v, t });
+                ctx.send(
+                    owner_of_key(v as u64, ctx.num_machines()),
+                    Msg::FreezeIter { v, t },
+                );
             }
         }
         st.sim_vertices.clear();
@@ -760,7 +818,10 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
             }
         }
         for (v, y) in partials {
-            ctx.send(owner_of_key(v as u64, ctx.num_machines()), Msg::PartialY { v, y });
+            ctx.send(
+                owner_of_key(v as u64, ctx.num_machines()),
+                Msg::PartialY { v, y },
+            );
         }
     });
 
@@ -824,8 +885,7 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
             }
             // Newly frozen endpoints are always HIGH; if the other side is
             // inactive this is a line (2j) zero-weight freeze.
-            let both_high =
-                e.u_cache.class == class::HIGH && e.v_cache.class == class::HIGH;
+            let both_high = e.u_cache.class == class::HIGH && e.v_cache.class == class::HIGH;
             e.frozen = true;
             e.x_final = if both_high { e.x_mpc } else { 0.0 };
             st.active_edges_local -= 1;
@@ -906,9 +966,7 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         coord.final_edges.sort_unstable_by_key(|&(geid, ..)| geid);
         let rest: Vec<u32> = coord.final_vertices.iter().map(|&(v, _)| v).collect();
         let wp: Vec<f64> = coord.final_vertices.iter().map(|&(_, w)| w).collect();
-        let pos = |v: u32| -> u32 {
-            rest.binary_search(&v).expect("endpoint is nonfrozen") as u32
-        };
+        let pos = |v: u32| -> u32 { rest.binary_search(&v).expect("endpoint is nonfrozen") as u32 };
         let mut builder = GraphBuilder::new(rest.len());
         for &(_, u, v) in &coord.final_edges {
             builder.add_edge(pos(u), pos(v));
@@ -947,7 +1005,10 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         for &lv in res.cover.vertices() {
             let v = rest[lv as usize];
             coord.final_cover.push(v);
-            ctx.send(owner_of_key(v as u64, ctx.num_machines()), Msg::FrozenNotice { v });
+            ctx.send(
+                owner_of_key(v as u64, ctx.num_machines()),
+                Msg::FrozenNotice { v },
+            );
         }
         coord.final_stats = Some(FinalPhaseStats {
             vertices: rest.len(),
@@ -992,10 +1053,7 @@ mod tests {
         let reference = run_reference(&wg, &cfg);
         assert_eq!(dist.phases, reference.num_phases());
         assert_eq!(dist.cover, reference.cover, "covers must agree");
-        assert_eq!(
-            dist.certificate.x.len(),
-            reference.certificate.x.len()
-        );
+        assert_eq!(dist.certificate.x.len(), reference.certificate.x.len());
         for (a, b) in dist.certificate.x.iter().zip(&reference.certificate.x) {
             assert!(
                 (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),

@@ -104,8 +104,8 @@ pub fn simulate_local(
                 continue;
             }
             let w = inst.residual_weights[lv];
-            let y_est = params.bias[t as usize] * w
-                + mult * (frozen_sum[lv] + active_sum0[lv] * growth_t);
+            let y_est =
+                params.bias[t as usize] * w + mult * (frozen_sum[lv] + active_sum0[lv] * growth_t);
             if y_est >= threshold(inst.vertices[lv], t) * w {
                 to_freeze.push(lv as u32);
             }
@@ -189,7 +189,11 @@ mod tests {
         let inst = LocalInstance {
             vertices: vec![0, 1],
             residual_weights: vec![1.0, 1.0],
-            edges: vec![LocalEdge { u: 0, v: 1, x0: 0.3 }],
+            edges: vec![LocalEdge {
+                u: 0,
+                v: 1,
+                x0: 0.3,
+            }],
         };
         let bias = flat_bias(20, 0.0);
         let out = simulate_local(&inst, params(&bias, 1.0, 20), |_, _| 0.8);
@@ -206,8 +210,16 @@ mod tests {
             vertices: vec![0, 1, 2],
             residual_weights: vec![0.1, 10.0, 10.0],
             edges: vec![
-                LocalEdge { u: 0, v: 1, x0: 0.05 },
-                LocalEdge { u: 1, v: 2, x0: 0.05 },
+                LocalEdge {
+                    u: 0,
+                    v: 1,
+                    x0: 0.05,
+                },
+                LocalEdge {
+                    u: 1,
+                    v: 2,
+                    x0: 0.05,
+                },
             ],
         };
         let bias = flat_bias(40, 0.0);
@@ -227,7 +239,11 @@ mod tests {
             let inst = LocalInstance {
                 vertices: vec![0, 1],
                 residual_weights: vec![1.0, 1.0],
-                edges: vec![LocalEdge { u: 0, v: 1, x0: 0.1 }],
+                edges: vec![LocalEdge {
+                    u: 0,
+                    v: 1,
+                    x0: 0.1,
+                }],
             };
             let bias = flat_bias(25, 0.0);
             simulate_local(&inst, params(&bias, mult, 25), |_, _| 0.8).freeze_iter[0]
@@ -246,9 +262,21 @@ mod tests {
             vertices: vec![0, 1, 2],
             residual_weights: vec![1.0, 1.0, 1.0],
             edges: vec![
-                LocalEdge { u: 0, v: 1, x0: 0.5 },
-                LocalEdge { u: 0, v: 2, x0: 0.5 },
-                LocalEdge { u: 1, v: 2, x0: 0.5 },
+                LocalEdge {
+                    u: 0,
+                    v: 1,
+                    x0: 0.5,
+                },
+                LocalEdge {
+                    u: 0,
+                    v: 2,
+                    x0: 0.5,
+                },
+                LocalEdge {
+                    u: 1,
+                    v: 2,
+                    x0: 0.5,
+                },
             ],
         };
         let bias = flat_bias(5, 0.0);
@@ -263,7 +291,11 @@ mod tests {
         let inst = LocalInstance {
             vertices: vec![100, 200],
             residual_weights: vec![1.0, 1.0],
-            edges: vec![LocalEdge { u: 0, v: 1, x0: 1e-6 }],
+            edges: vec![LocalEdge {
+                u: 0,
+                v: 1,
+                x0: 1e-6,
+            }],
         };
         let bias = flat_bias(3, 0.0);
         let out = simulate_local(&inst, params(&bias, 1.0, 3), |v, t| {
@@ -273,6 +305,10 @@ mod tests {
             0.9
         });
         assert_eq!(out.freeze_iter, vec![None, None]);
-        assert_eq!(calls.load(Ordering::Relaxed), 6, "2 vertices x 3 iterations");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            6,
+            "2 vertices x 3 iterations"
+        );
     }
 }

@@ -77,18 +77,14 @@ impl PhaseObserver for NoopObserver {
 
 /// Derives the partition seed for a phase.
 pub(crate) fn partition_seed(seed: u64, phase: usize) -> u64 {
-    seed ^ (phase as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x0070_6861_7365 // "phase"
+    seed ^ (phase as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x0070_6861_7365
+    // "phase"
 }
 
 /// Sums `x[eid]` over the edges incident to `v`, in ascending edge-id
 /// order. The canonical order makes reference and distributed executors
 /// produce bit-identical sums.
-pub(crate) fn sorted_incident_sum(
-    graph: &Graph,
-    eidx: &EdgeIndex,
-    v: VertexId,
-    x: &[f64],
-) -> f64 {
+pub(crate) fn sorted_incident_sum(graph: &Graph, eidx: &EdgeIndex, v: VertexId, x: &[f64]) -> f64 {
     let mut ids: Vec<u32> = eidx.incident(graph, v).map(|(_, eid)| eid).collect();
     ids.sort_unstable();
     ids.into_iter().map(|eid| x[eid as usize]).sum()
@@ -160,11 +156,17 @@ pub fn run_reference_observed(
             .iter()
             .map(|&v| {
                 let w = wg.weights[v] - frozen_inc[v as usize];
-                debug_assert!(w > -1e-6 * wg.weights[v].max(1.0), "negative residual weight");
+                debug_assert!(
+                    w > -1e-6 * wg.weights[v].max(1.0),
+                    "negative residual weight"
+                );
                 w.max(0.0)
             })
             .collect();
-        let rdeg: Vec<usize> = high.iter().map(|&v| resid_deg[v as usize] as usize).collect();
+        let rdeg: Vec<usize> = high
+            .iter()
+            .map(|&v| resid_deg[v as usize] as usize)
+            .collect();
 
         // (2c) Initial edge weights — the paper's
         // min(w'(u)/d(u), w'(v)/d(v)) under the default scheme, with d
@@ -187,15 +189,9 @@ pub fn run_reference_observed(
             .iter()
             .map(|e| {
                 let (lu, lv) = (e.u() as usize, e.v() as usize);
-                config.init.phase_value(
-                    wp[lu],
-                    rdeg[lu],
-                    wp[lv],
-                    rdeg[lv],
-                    delta_resid,
-                    min_wp,
-                    n,
-                )
+                config
+                    .init
+                    .phase_value(wp[lu], rdeg[lu], wp[lv], rdeg[lv], delta_resid, min_wp, n)
             })
             .collect();
 
@@ -237,7 +233,10 @@ pub fn run_reference_observed(
         }
         let instances: Vec<LocalInstance> = (0..machines)
             .map(|p| LocalInstance {
-                vertices: machine_vertices[p].iter().map(|&li| high[li as usize]).collect(),
+                vertices: machine_vertices[p]
+                    .iter()
+                    .map(|&li| high[li as usize])
+                    .collect(),
                 residual_weights: machine_vertices[p]
                     .iter()
                     .map(|&li| wp[li as usize])
@@ -532,7 +531,10 @@ mod tests {
             WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&g, 7),
         );
         let res = run_reference(&wg, &MpcMwvcConfig::practical(EPS, 1));
-        assert!(res.num_phases() >= 1, "expected at least one compression phase");
+        assert!(
+            res.num_phases() >= 1,
+            "expected at least one compression phase"
+        );
         check_result(&wg, &res);
         // Degree reduction: every phase shrinks the nonfrozen edge count.
         for p in &res.phases {
@@ -660,7 +662,9 @@ mod tests {
         assert_eq!(res.num_phases(), 0);
         check_result(&wg, &res);
         // Budget that cannot hold the instance: phases must run first.
-        cfg.switch = PhaseSwitch::EdgeBudget { words: 3 * 4000 / 8 };
+        cfg.switch = PhaseSwitch::EdgeBudget {
+            words: 3 * 4000 / 8,
+        };
         let res = run_reference(&wg, &cfg);
         assert!(res.num_phases() >= 1);
         check_result(&wg, &res);
@@ -741,5 +745,4 @@ mod tests {
         let res = run_reference(&wg, &MpcMwvcConfig::practical(EPS, 9));
         check_result(&wg, &res);
     }
-
 }

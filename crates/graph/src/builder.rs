@@ -16,10 +16,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// New builder for a graph on vertices `0..n`.
     pub fn new(n: usize) -> Self {
-        assert!(
-            n <= u32::MAX as usize,
-            "vertex count exceeds u32 id space"
-        );
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
         Self {
             n,
             half_edges: Vec::new(),

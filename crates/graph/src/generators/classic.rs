@@ -115,12 +115,7 @@ pub fn tree(n: usize, seed: u64) -> Graph {
 /// stays near `2·hubs·leaves/n + p·n` while the max degree is
 /// `≈ leaves_per_hub`, so the gap between `O(log log d)` and
 /// `O(log log Δ)` round bounds is tunable.
-pub fn star_composite(
-    hubs: usize,
-    leaves_per_hub: usize,
-    background_p: f64,
-    seed: u64,
-) -> Graph {
+pub fn star_composite(hubs: usize, leaves_per_hub: usize, background_p: f64, seed: u64) -> Graph {
     let n = hubs * (1 + leaves_per_hub);
     let mut b = GraphBuilder::new(n);
     // Hubs are 0..hubs; leaves follow in blocks.

@@ -19,6 +19,8 @@ mod classic;
 mod planted;
 mod random;
 
-pub use classic::{barbell, clique, disjoint_cliques, grid, low_arboricity, path, star, star_composite, tree};
+pub use classic::{
+    barbell, clique, disjoint_cliques, grid, low_arboricity, path, star, star_composite, tree,
+};
 pub use planted::{planted_cover, PlantedInstance};
 pub use random::{chung_lu, gnm, gnp, random_bipartite, random_regular, rmat, RmatParams};

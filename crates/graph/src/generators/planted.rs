@@ -49,7 +49,10 @@ pub fn planted_cover(
     seed: u64,
 ) -> PlantedInstance {
     assert!(hubs >= 1);
-    assert!(private_leaves >= 2, "need >= 2 private leaves for strict optimality");
+    assert!(
+        private_leaves >= 2,
+        "need >= 2 private leaves for strict optimality"
+    );
     assert!((0.0..=1.0).contains(&extra_edge_prob));
     assert!(max_hub_weight >= 1.0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0070_6c61_6e74); // "plant"

@@ -77,7 +77,10 @@ fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
 /// (rejection-sampled, so `m` must be at most the number of vertex pairs).
 pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let total = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= total, "requested {m} edges but only {total} pairs exist");
+    assert!(
+        m <= total,
+        "requested {m} edges but only {total} pairs exist"
+    );
     let mut rng = rng_for(seed, 0x0067_6e6d); // "gnm"
     let mut b = GraphBuilder::with_capacity(n, m);
     if m == 0 {
@@ -124,7 +127,7 @@ pub fn chung_lu(n: usize, beta: f64, target_avg_degree: f64, seed: u64) -> Graph
     assert!(beta > 1.0, "power-law exponent must exceed 1");
     assert!(target_avg_degree >= 0.0);
     let mut rng = rng_for(seed, 0x0063_6c75); // "clu"
-    // Desired weights, descending (vertex 0 is the biggest hub).
+                                              // Desired weights, descending (vertex 0 is the biggest hub).
     let gamma = 1.0 / (beta - 1.0);
     let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
     let sum: f64 = w.iter().sum();
@@ -197,7 +200,10 @@ impl Default for RmatParams {
 /// count is somewhat lower).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "R-MAT quadrant masses must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "R-MAT quadrant masses must sum to 1"
+    );
     let n: usize = 1 << scale;
     let m = edge_factor * n;
     let mut rng = rng_for(seed, 0x726d_6174); // "rmat"

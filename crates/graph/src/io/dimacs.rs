@@ -31,7 +31,10 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<WeightedGraph, IoError> {
                 }
                 let kind = it.next().unwrap_or("");
                 if kind != "edge" && kind != "col" {
-                    return Err(parse_err(line_no, format!("unsupported problem type {kind:?}")));
+                    return Err(parse_err(
+                        line_no,
+                        format!("unsupported problem type {kind:?}"),
+                    ));
                 }
                 let n: usize = it
                     .next()
@@ -102,18 +105,16 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<WeightedGraph, IoError> {
         // the graph is still returned, mismatch is not an error because
         // duplicate `e` lines are common in the wild.
     }
-    Ok(WeightedGraph::new(b.build(), VertexWeights::from_vec(weights)))
+    Ok(WeightedGraph::new(
+        b.build(),
+        VertexWeights::from_vec(weights),
+    ))
 }
 
 /// Writes DIMACS `edge` format with `n` node-weight lines for non-unit
 /// weights.
 pub fn write_dimacs<W: Write>(wg: &WeightedGraph, mut writer: W) -> Result<(), IoError> {
-    writeln!(
-        writer,
-        "p edge {} {}",
-        wg.num_vertices(),
-        wg.num_edges()
-    )?;
+    writeln!(writer, "p edge {} {}", wg.num_vertices(), wg.num_edges())?;
     for v in wg.graph.vertices() {
         let w = wg.weight(v);
         if w != 1.0 {

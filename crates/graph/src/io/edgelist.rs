@@ -78,7 +78,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<WeightedGraph, IoError> {
         }
         b.add_edge(u, v);
     }
-    Ok(WeightedGraph::new(b.build(), VertexWeights::from_vec(weights)))
+    Ok(WeightedGraph::new(
+        b.build(),
+        VertexWeights::from_vec(weights),
+    ))
 }
 
 /// Writes a weighted graph in the edge-list format accepted by

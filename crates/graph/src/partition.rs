@@ -43,9 +43,8 @@ impl VertexPartition {
     /// The pure assignment function: which part vertex `v` lands in.
     /// Any participant holding `(seed, num_parts)` computes this locally.
     pub fn part_of_vertex(v: VertexId, num_parts: usize, seed: u64) -> usize {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            seed ^ (v as u64).wrapping_mul(0xd134_2543_de82_ef95),
-        );
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0xd134_2543_de82_ef95));
         rng.gen_range(0..num_parts)
     }
 

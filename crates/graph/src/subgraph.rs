@@ -52,11 +52,7 @@ impl InducedSubgraph {
     /// buffer of size `g.num_vertices()` (must be filled with `u32::MAX`);
     /// the buffer is restored before returning. Avoids `O(n)` allocation
     /// per machine when extracting a whole partition.
-    pub fn extract_with_scratch(
-        g: &Graph,
-        vertices: &[VertexId],
-        scratch: &mut [u32],
-    ) -> Self {
+    pub fn extract_with_scratch(g: &Graph, vertices: &[VertexId], scratch: &mut [u32]) -> Self {
         assert_eq!(scratch.len(), g.num_vertices());
         for (local, &v) in vertices.iter().enumerate() {
             debug_assert_eq!(scratch[v as usize], u32::MAX);
@@ -144,16 +140,18 @@ mod tests {
         // Extracting over a partition counts each internal edge exactly once.
         let g = gnp(300, 0.03, 9);
         let parts: Vec<Vec<VertexId>> = (0..3)
-            .map(|i| (0..300).filter(|v| v % 3 == i).map(|v| v as VertexId).collect())
+            .map(|i| {
+                (0..300)
+                    .filter(|v| v % 3 == i)
+                    .map(|v| v as VertexId)
+                    .collect()
+            })
             .collect();
         let sum: usize = parts
             .iter()
             .map(|p| InducedSubgraph::extract(&g, p).num_edges())
             .sum();
-        let internal = g
-            .edges()
-            .filter(|e| e.u() % 3 == e.v() % 3)
-            .count();
+        let internal = g.edges().filter(|e| e.u() % 3 == e.v() % 3).count();
         assert_eq!(sum, internal);
     }
 }

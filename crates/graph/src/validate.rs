@@ -8,7 +8,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StructureError {
     /// A neighbor id is out of the vertex range.
-    NeighborOutOfRange { vertex: VertexId, neighbor: VertexId },
+    NeighborOutOfRange {
+        vertex: VertexId,
+        neighbor: VertexId,
+    },
     /// An adjacency list is not strictly sorted (implies duplicates too).
     UnsortedAdjacency { vertex: VertexId },
     /// A self-loop is present.
@@ -24,7 +27,10 @@ impl fmt::Display for StructureError {
                 write!(f, "vertex {vertex} lists out-of-range neighbor {neighbor}")
             }
             StructureError::UnsortedAdjacency { vertex } => {
-                write!(f, "adjacency list of vertex {vertex} is not strictly sorted")
+                write!(
+                    f,
+                    "adjacency list of vertex {vertex} is not strictly sorted"
+                )
             }
             StructureError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             StructureError::Asymmetric { u, v } => {
@@ -50,7 +56,10 @@ pub fn check_structure(g: &Graph) -> Result<(), StructureError> {
         }
         for &v in nbrs {
             if v >= n {
-                return Err(StructureError::NeighborOutOfRange { vertex: u, neighbor: v });
+                return Err(StructureError::NeighborOutOfRange {
+                    vertex: u,
+                    neighbor: v,
+                });
             }
             if v == u {
                 return Err(StructureError::SelfLoop { vertex: u });

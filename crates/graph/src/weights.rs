@@ -229,7 +229,9 @@ mod tests {
     fn uniform_int_weights_are_integral() {
         let g = test_graph();
         let w = WeightModel::UniformInt { lo: 1, hi: 100 }.sample(&g, 2);
-        assert!(w.iter().all(|x| x.fract() == 0.0 && (1.0..=100.0).contains(&x)));
+        assert!(w
+            .iter()
+            .all(|x| x.fract() == 0.0 && (1.0..=100.0).contains(&x)));
     }
 
     #[test]
@@ -286,6 +288,13 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(WeightModel::Constant(1.0).label(), "constant");
-        assert_eq!(WeightModel::Zipf { exponent: 1.0, scale: 1.0 }.label(), "zipf");
+        assert_eq!(
+            WeightModel::Zipf {
+                exponent: 1.0,
+                scale: 1.0
+            }
+            .label(),
+            "zipf"
+        );
     }
 }

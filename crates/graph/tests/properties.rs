@@ -69,7 +69,7 @@ proptest! {
         let g = Graph::from_edges(n, &edges);
         // Deterministic pseudo-random subset from `pick`.
         let subset: Vec<VertexId> = (0..n as u32)
-            .filter(|v| (v.wrapping_mul(2654435761) ^ pick as u32) % 3 == 0)
+            .filter(|v| (v.wrapping_mul(2654435761) ^ pick as u32).is_multiple_of(3))
             .collect();
         let sub = InducedSubgraph::extract(&g, &subset);
         prop_assert!(check_structure(&sub.graph).is_ok());

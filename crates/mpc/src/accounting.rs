@@ -61,7 +61,11 @@ impl ExecutionTrace {
 
     /// Largest per-machine resident memory observed in any round.
     pub fn peak_resident(&self) -> usize {
-        self.rounds.iter().map(|r| r.max_resident).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_resident)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-machine per-round communication (send or receive side).
@@ -88,10 +92,11 @@ impl ExecutionTrace {
     pub fn absorb(&mut self, other: ExecutionTrace) {
         let offset = self.rounds.len();
         self.rounds.extend(other.rounds);
-        self.violations.extend(other.violations.into_iter().map(|mut v| {
-            v.round += offset;
-            v
-        }));
+        self.violations
+            .extend(other.violations.into_iter().map(|mut v| {
+                v.round += offset;
+                v
+            }));
     }
 }
 

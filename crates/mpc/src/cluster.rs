@@ -123,10 +123,7 @@ where
     {
         let m = self.config.num_machines;
         let round_index = self.trace.rounds.len();
-        let inboxes = std::mem::replace(
-            &mut self.inboxes,
-            (0..m).map(|_| Vec::new()).collect(),
-        );
+        let inboxes = std::mem::replace(&mut self.inboxes, (0..m).map(|_| Vec::new()).collect());
 
         // Local computation: free in the model, parallel on the host.
         // Each machine also reports its post-computation state footprint,
@@ -282,7 +279,10 @@ mod tests {
             state.0 = vec![0; 8];
         });
         assert_eq!(c.trace().violations.len(), 1);
-        assert_eq!(c.trace().violations[0].kind, ViolationKind::ResidentExceedsMemory);
+        assert_eq!(
+            c.trace().violations[0].kind,
+            ViolationKind::ResidentExceedsMemory
+        );
         assert_eq!(c.trace().violations[0].words, 8);
     }
 
@@ -319,10 +319,7 @@ mod tests {
                 });
             }
             let (states, trace) = c.finish();
-            (
-                states.into_iter().map(|b| b.0).collect::<Vec<_>>(),
-                trace,
-            )
+            (states.into_iter().map(|b| b.0).collect::<Vec<_>>(), trace)
         };
         let (s1, t1) = run();
         let (s2, t2) = run();

@@ -73,12 +73,10 @@ where
     assert_eq!(input.len(), config.num_machines);
     assert!(oversample >= 1);
     let mut machines = input.into_iter();
-    let mut cluster: Cluster<SortState<K>, SortMsg<K>> = Cluster::new(config, move |_| {
-        SortState {
-            data: machines.next().expect("one share per machine"),
-            splitters: Vec::new(),
-            output: Vec::new(),
-        }
+    let mut cluster: Cluster<SortState<K>, SortMsg<K>> = Cluster::new(config, move |_| SortState {
+        data: machines.next().expect("one share per machine"),
+        splitters: Vec::new(),
+        output: Vec::new(),
     });
 
     cluster.round("sort:sample", move |ctx, st, _| {

@@ -21,19 +21,39 @@ pub mod streams {
     pub const MACHINE: u64 = 0x6d61_6368; // "mach"
 }
 
+/// Domain tag finishing a `(seed, stream)` derivation.
+const STREAM_LEAF: u64 = 0x5354_5245_414d_5f31; // "STREAM_1"
+/// Domain tag finishing a `(seed, stream, index)` derivation.
+const INDEX_LEAF: u64 = 0x494e_4445_5845_445f; // "INDEXED_"
+
 /// Derives an independent generator for `(seed, stream)`.
 pub fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
-    // splitmix64 over the pair, then seed ChaCha. ChaCha8 is overkill for
-    // simulation purposes but guarantees stream independence.
-    let mixed = splitmix64(seed ^ splitmix64(stream));
+    // Sequentially chained splitmix64, then seed ChaCha. ChaCha8 is
+    // overkill for simulation purposes but guarantees stream independence.
+    //
+    // The chaining (rather than XOR-combining independently hashed
+    // components, as an earlier revision did) matters for determinism
+    // *correctness*: XOR is commutative, so hashed components can swap or
+    // cancel, making structurally different `(seed, stream, index)`
+    // tuples draw the same underlying stream. Chained hashing is
+    // order-sensitive, and the distinct leaf tags separate the two- and
+    // three-component derivations.
+    let mixed = chain(chain(splitmix64(seed), stream), STREAM_LEAF);
     ChaCha8Rng::seed_from_u64(mixed)
 }
 
 /// Derives a generator for `(seed, stream, index)` — e.g. per-vertex or
 /// per-machine substreams.
 pub fn indexed_rng(seed: u64, stream: u64, index: u64) -> ChaCha8Rng {
-    let mixed = splitmix64(seed ^ splitmix64(stream) ^ splitmix64(index.wrapping_add(0x1234)));
+    let mixed = chain(chain(chain(splitmix64(seed), stream), index), INDEX_LEAF);
     ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// One order-sensitive absorption step: feed `value` into the running
+/// hash state `h`.
+#[inline]
+fn chain(h: u64, value: u64) -> u64 {
+    splitmix64(h.rotate_left(23) ^ value)
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -78,5 +98,45 @@ mod tests {
         let a: u64 = stream_rng(1, streams::MACHINE).gen();
         let b: u64 = indexed_rng(1, streams::MACHINE, 0).gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn swapped_stream_and_index_do_not_collide() {
+        // Regression: the pre-workspace-bootstrap derivation XOR-combined
+        // splitmix64(stream) with splitmix64(index + 0x1234), which is
+        // commutative — swapping (stream, index + 0x1234) with
+        // (index + 0x1234 - 0, stream - 0x1234) produced the *same*
+        // generator for structurally different substreams. The chained
+        // derivation must keep every such pair distinct.
+        for (s1, i1) in [(streams::PARTITION, streams::THRESHOLD), (7u64, 13u64)] {
+            let a: u64 = indexed_rng(1, s1, i1).gen();
+            let b: u64 = indexed_rng(1, i1.wrapping_add(0x1234), s1.wrapping_sub(0x1234)).gen();
+            assert_ne!(a, b, "commutative-mixing collision for ({s1}, {i1})");
+        }
+    }
+
+    #[test]
+    fn argument_order_is_significant() {
+        let a: u64 = indexed_rng(1, 2, 3).gen();
+        let b: u64 = indexed_rng(1, 3, 2).gen();
+        let c: u64 = indexed_rng(2, 1, 3).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draws_are_identical_across_interleavings() {
+        // Thread-count independence: a stream's values depend only on its
+        // derivation key, never on which other streams were drawn first or
+        // concurrently. Simulate two different machine-execution orders.
+        let forward: Vec<u64> = (0..16u64)
+            .map(|i| indexed_rng(9, streams::MACHINE, i).gen())
+            .collect();
+        let mut reverse: Vec<u64> = (0..16u64)
+            .rev()
+            .map(|i| indexed_rng(9, streams::MACHINE, i).gen())
+            .collect();
+        reverse.reverse();
+        assert_eq!(forward, reverse);
     }
 }

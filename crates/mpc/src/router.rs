@@ -102,11 +102,7 @@ mod tests {
         let routed = route(
             &cfg(3, 100),
             0,
-            vec![
-                vec![(1, 10u64), (2, 20u64)],
-                vec![(0, 30u64)],
-                vec![],
-            ],
+            vec![vec![(1, 10u64), (2, 20u64)], vec![(0, 30u64)], vec![]],
         );
         assert_eq!(routed.inboxes[0], vec![30]);
         assert_eq!(routed.inboxes[1], vec![10]);

@@ -46,9 +46,9 @@ proptest! {
             let _ = from;
             expected[to].push(payload);
         }
-        for i in 0..m {
+        for (i, want) in expected.iter().enumerate() {
             let mut got = cluster.state(i).0.clone();
-            let mut want = expected[i].clone();
+            let mut want = want.clone();
             got.sort_unstable();
             want.sort_unstable();
             prop_assert_eq!(got, want);

@@ -25,7 +25,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let weights = WeightModel::Zipf { exponent: 1.2, scale: 100.0 }.sample(&graph, 5);
+    let weights = WeightModel::Zipf {
+        exponent: 1.2,
+        scale: 100.0,
+    }
+    .sample(&graph, 5);
     let instance = WeightedGraph::new(graph, weights);
     println!(
         "family {family}: n = {}, m = {}, d = {:.1}",
@@ -43,8 +47,14 @@ fn main() {
     let eps = 0.1;
     let algorithms = [
         Algorithm::MpcRoundCompression(MpcMwvcConfig::practical(eps, 7)),
-        Algorithm::Centralized { epsilon: eps, seed: 7 },
-        Algorithm::LocalBaseline { epsilon: eps, seed: 7 },
+        Algorithm::Centralized {
+            epsilon: eps,
+            seed: 7,
+        },
+        Algorithm::LocalBaseline {
+            epsilon: eps,
+            seed: 7,
+        },
         Algorithm::BarYehudaEven,
         Algorithm::Greedy,
         Algorithm::Clarkson,

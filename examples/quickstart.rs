@@ -27,7 +27,10 @@ fn main() {
     let result = solve_mpc(&instance, &config);
 
     // The result is a verified vertex cover...
-    result.cover.verify(&instance.graph).expect("cover is valid");
+    result
+        .cover
+        .verify(&instance.graph)
+        .expect("cover is valid");
     let weight = result.cover.weight(&instance);
 
     // ...with a dual certificate that lower-bounds the optimum, so the

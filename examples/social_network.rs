@@ -35,7 +35,11 @@ fn main() {
         stats.max,
         stats.skew()
     );
-    let weights = WeightModel::DegreeProportional { base: 1.0, slope: 0.2 }.sample(&graph, 7);
+    let weights = WeightModel::DegreeProportional {
+        base: 1.0,
+        slope: 0.2,
+    }
+    .sample(&graph, 7);
     let network = WeightedGraph::new(graph, weights);
 
     // Ground truth at scale: the exact LP optimum (OPT is between LP* and

@@ -15,7 +15,7 @@
 //! See the repository `README.md` for a guided tour and
 //! `examples/quickstart.rs` for the fastest start.
 
+pub use mpc_sim as sim;
 pub use mwvc_baselines as baselines;
 pub use mwvc_core as core;
 pub use mwvc_graph as graph;
-pub use mpc_sim as sim;

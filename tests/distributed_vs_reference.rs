@@ -50,7 +50,11 @@ fn equivalent_on_power_law() {
     let g = chung_lu(800, 2.3, 24.0, 7);
     let wg = WeightedGraph::new(
         g.clone(),
-        WeightModel::Zipf { exponent: 1.2, scale: 40.0 }.sample(&g, 7),
+        WeightModel::Zipf {
+            exponent: 1.2,
+            scale: 40.0,
+        }
+        .sample(&g, 7),
     );
     assert_equivalent(&wg, &MpcMwvcConfig::practical(EPS, 7), "chung-lu");
 }

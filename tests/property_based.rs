@@ -12,13 +12,10 @@ use proptest::prelude::*;
 /// Random simple graph as (n, canonical edge set).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(
-            move |pairs| {
-                let edges: Vec<(u32, u32)> =
-                    pairs.into_iter().filter(|(u, v)| u != v).collect();
-                Graph::from_edges(n, &edges)
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges)
+        })
     })
 }
 

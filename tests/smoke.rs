@@ -1,0 +1,99 @@
+//! Smoke test (workspace-bootstrap satellite): the distributed executor
+//! and the centralized algorithm must both produce *feasible* covers on a
+//! 1k-vertex G(n, m) instance, their dual certificates must validate the
+//! lower bounds they report, and a fixed seed must reproduce the
+//! distributed run exactly.
+
+use mwvc_repro::core::mpc::distributed::{recommended_cluster, run_distributed};
+use mwvc_repro::core::mpc::MpcMwvcConfig;
+use mwvc_repro::core::solve_centralized;
+use mwvc_repro::core::DualCertificate;
+use mwvc_repro::graph::generators::gnm;
+use mwvc_repro::graph::{EdgeIndex, WeightModel, WeightedGraph};
+
+const EPS: f64 = 0.1;
+const SEED: u64 = 2026;
+
+fn instance() -> WeightedGraph {
+    let g = gnm(1000, 8000, SEED);
+    let w = WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&g, SEED);
+    WeightedGraph::new(g, w)
+}
+
+/// Checks that the certificate's reported lower bound is exactly what its
+/// dual values witness: the rescaled matching is feasible, its objective
+/// matches the reported bound, and the bound never exceeds the weight of
+/// any concrete cover.
+fn validate_lower_bound(
+    wg: &WeightedGraph,
+    eidx: &EdgeIndex,
+    cert: &DualCertificate,
+    covers: &[f64],
+) {
+    let lb = cert.lower_bound(wg, eidx);
+    assert!(
+        lb > 0.0,
+        "certificate must carry information on a nonempty graph"
+    );
+    let factor = cert.feasibility_factor(wg, eidx).max(1.0);
+    let rescaled = DualCertificate::new(cert.x.iter().map(|x| x / factor).collect());
+    assert!(
+        rescaled.is_feasible(wg, eidx, 1e-9),
+        "rescaled dual must be a feasible fractional matching"
+    );
+    assert!(
+        (rescaled.value() - lb).abs() <= 1e-9 * (1.0 + lb),
+        "reported bound {lb} does not match the rescaled dual objective {}",
+        rescaled.value()
+    );
+    for &cw in covers {
+        assert!(
+            lb <= cw + 1e-7,
+            "lower bound {lb} exceeds a concrete cover of weight {cw}"
+        );
+    }
+}
+
+#[test]
+fn distributed_and_centralized_agree_on_feasibility() {
+    let wg = instance();
+    let eidx = EdgeIndex::build(&wg.graph);
+    let cfg = MpcMwvcConfig::practical(EPS, SEED);
+
+    let dist = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    dist.cover
+        .verify(&wg.graph)
+        .expect("distributed cover leaves an edge uncovered");
+
+    let central = solve_centralized(&wg, EPS, SEED);
+    central
+        .cover
+        .verify(&wg.graph)
+        .expect("centralized cover leaves an edge uncovered");
+
+    let w_dist = dist.cover.weight(&wg);
+    let w_central = central.cover.weight(&wg);
+    validate_lower_bound(&wg, &eidx, &dist.certificate, &[w_dist, w_central]);
+    validate_lower_bound(&wg, &eidx, &central.certificate, &[w_dist, w_central]);
+
+    // The model run must stay within its own audited budget.
+    assert!(
+        dist.trace.violations.is_empty(),
+        "distributed run violated the MPC model: {:?}",
+        dist.trace.violations
+    );
+}
+
+#[test]
+fn distributed_run_is_reproducible_for_a_fixed_seed() {
+    let wg = instance();
+    let cfg = MpcMwvcConfig::practical(EPS, SEED);
+    let a = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    let b = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+    assert_eq!(
+        a.cover, b.cover,
+        "same seed + config must give identical covers"
+    );
+    assert_eq!(a.certificate, b.certificate);
+    assert_eq!(a.phases, b.phases);
+}

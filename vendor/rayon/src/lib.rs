@@ -1,0 +1,107 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the `par_iter` / `par_iter_mut` / `into_par_iter` entry points
+//! as plain sequential `std` iterators, so all downstream combinators
+//! (`zip`, `enumerate`, `map`, `collect`, …) are ordinary `Iterator`
+//! methods. Results are bit-identical to a real rayon run for the usage
+//! in this workspace (order-preserving indexed collects); only host
+//! wall-clock parallelism is lost, never model-level semantics. The MPC
+//! simulator charges model costs independently of host threading, so this
+//! substitution is observationally equivalent apart from speed.
+
+/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutably borrowing conversion, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Number of host worker threads. The sequential stand-in always runs on
+/// the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_zip_enumerate_collect_preserves_order() {
+        let mut states = vec![0u64; 5];
+        let inboxes: Vec<Vec<u64>> = (0..5).map(|i| vec![i as u64]).collect();
+        let out: Vec<(usize, u64)> = states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .enumerate()
+            .map(|(id, (st, inbox))| {
+                *st = inbox[0] * 10;
+                (id, *st)
+            })
+            .collect();
+        assert_eq!(out, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(states, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn par_iter_on_slice_and_vec() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 12);
+        let s2: i32 = v[..].par_iter().sum();
+        assert_eq!(s2, 6);
+    }
+}

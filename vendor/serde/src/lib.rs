@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real `serde` cannot be fetched. The codebase only uses serde as
+//! `#[derive(Serialize, Deserialize)]` markers on plain data types — no
+//! actual serialization format is wired up anywhere — so this stand-in
+//! provides the two trait names with blanket impls, plus no-op derive
+//! macros re-exported from [`serde_derive`]. Swapping the workspace back
+//! to the real serde is a one-line change in the root `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so `T: Serialize` bounds and derives are satisfied trivially.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

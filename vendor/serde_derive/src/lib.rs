@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace pairs these derives with blanket trait impls in the
+//! `serde` stand-in, so deriving `Serialize`/`Deserialize` only has to
+//! *parse*; it does not need to generate an impl. Each derive therefore
+//! expands to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
