@@ -4,6 +4,7 @@
 //! experiments all                 # run the full suite
 //! experiments e01 e05             # run selected experiments
 //! experiments all --csv out/      # also write one CSV per table
+//! experiments scaling --threads 4 # pin the host pool width
 //! ```
 
 use mwvc_bench::experiments;
@@ -14,6 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,12 +27,32 @@ fn main() {
                         .clone(),
                 );
             }
+            "--threads" => {
+                i += 1;
+                let t = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--threads needs a count"))
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--threads needs a positive integer"));
+                if t == 0 {
+                    usage("--threads needs a positive integer");
+                }
+                threads = Some(t);
+            }
             "--help" | "-h" => {
                 usage("");
             }
             other => ids.push(other.to_string()),
         }
         i += 1;
+    }
+    if let Some(t) = threads {
+        // Pin the global pool before any parallel work builds it lazily.
+        // (The `scaling` experiment sweeps its own pools regardless.)
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("--threads must be set before the pool is first used");
     }
     if ids.is_empty() {
         usage("no experiments selected");
@@ -77,6 +99,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: experiments <e01..e13 | all>... [--csv DIR]");
+    eprintln!("usage: experiments <e01..e13 | scaling | all>... [--csv DIR] [--threads N]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

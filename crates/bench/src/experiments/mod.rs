@@ -6,11 +6,13 @@ mod coupled;
 mod model;
 mod quality;
 mod rounds;
+mod scaling;
 
 pub use coupled::{e06_deviations, e07_bad_vertices, e12_threshold_ablation, e13_bias_ablation};
 pub use model::{e04_machine_memory, e05_edge_shrink, e11_model_audit};
 pub use quality::{e03_approx_ratio, e08_algorithm_comparison, e10_weight_robustness};
 pub use rounds::{e01_rounds_vs_degree, e02_centralized_iterations, e09_init_comparison};
+pub use scaling::scaling;
 
 use crate::Table;
 
@@ -33,6 +35,7 @@ pub fn all() -> Vec<(&'static str, Driver)> {
         ("e11", e11_model_audit),
         ("e12", e12_threshold_ablation),
         ("e13", e13_bias_ablation),
+        ("scaling", scaling),
     ]
 }
 
@@ -41,12 +44,13 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 13);
+        assert_eq!(sorted.len(), 14);
         assert_eq!(ids[0], "e01");
         assert_eq!(ids[12], "e13");
+        assert_eq!(ids[13], "scaling");
     }
 }

@@ -55,6 +55,7 @@ use crate::mpc::reference::partition_seed;
 use crate::mpc::stats::FinalPhaseStats;
 use mpc_sim::{owner_of_key, Cluster, ExecutionTrace, MpcConfig, Words};
 use mwvc_graph::{EdgeIndex, GraphBuilder, VertexId, VertexPartition, WeightedGraph};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
@@ -531,31 +532,50 @@ pub fn run_distributed(
         }
     }
 
-    // ── Assembly: the output lives distributed across machines; collect it.
+    // ── Assembly: the output lives distributed across machines; gather
+    // it host-parallel by ownership. Every vertex has exactly one owner
+    // and every edge one home (both `owned` and `home_edges` are kept
+    // ascending by id), so each output slot has a unique source and the
+    // gather is deterministic under any scheduling.
     let (states, trace) = cluster.finish();
-    let mut membership = vec![false; n];
-    let mut edge_x = vec![0.0f64; m_total];
+    let membership: Vec<bool> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let st = &states[owner_of_key(v as u64, w)];
+            let i = st
+                .owned
+                .binary_search_by_key(&(v as u32), |o| o.v)
+                .expect("every vertex has an owner");
+            st.owned[i].frozen
+        })
+        .collect();
+    let mut edge_x: Vec<f64> = (0..m_total)
+        .into_par_iter()
+        .map(|geid| {
+            let st = &states[owner_of_key(geid as u64, w)];
+            let i = st
+                .home_edges
+                .binary_search_by_key(&(geid as u32), |e| e.geid)
+                .expect("every edge has a home");
+            let e = &st.home_edges[i];
+            if e.frozen {
+                e.x_final
+            } else {
+                0.0
+            }
+        })
+        .collect();
     let mut phases = 0usize;
     let mut stalled = false;
     let mut hit_max_phases = false;
     let mut final_stats = None;
-    for st in &states {
-        for o in &st.owned {
-            membership[o.v as usize] = o.frozen;
-        }
-        for e in &st.home_edges {
-            if e.frozen {
-                edge_x[e.geid as usize] = e.x_final;
-            }
-        }
-        if let Some(c) = st.coord.as_deref() {
-            phases = c.phase as usize;
-            stalled = c.stalled;
-            hit_max_phases = c.hit_max_phases;
-            final_stats = c.final_stats;
-            for &(geid, x) in &c.final_edge_x {
-                edge_x[geid as usize] = x;
-            }
+    if let Some(c) = states.iter().find_map(|st| st.coord.as_deref()) {
+        phases = c.phase as usize;
+        stalled = c.stalled;
+        hit_max_phases = c.hit_max_phases;
+        final_stats = c.final_stats;
+        for &(geid, x) in &c.final_edge_x {
+            edge_x[geid as usize] = x;
         }
     }
     DistributedOutcome {

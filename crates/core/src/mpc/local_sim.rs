@@ -18,7 +18,15 @@
 //! not in the simulation arithmetic.
 
 use mwvc_graph::VertexId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below this vertex count the per-iteration freeze scan runs inline:
+/// the scan is O(k) with one threshold evaluation per active vertex, so
+/// small instances cannot amortize a parallel drive. Both paths compute
+/// the same pure function of the iteration state, so the cutover never
+/// changes results.
+const PARALLEL_SCAN_MIN_VERTICES: usize = 4096;
 
 /// A local edge: endpoint positions within the machine's vertex list and
 /// the initial dual value.
@@ -67,11 +75,14 @@ pub struct LocalSimOutput {
 }
 
 /// Runs the local simulation. `threshold(global_vertex, t)` must be the
-/// shared pure threshold function — every machine evaluates the same one.
+/// shared pure threshold function — every machine evaluates the same one
+/// (and, since the freeze scan is host-parallel for large parts, it must
+/// be `Sync`; the workspace's threshold schemes are pure functions of
+/// `(seed, phase, vertex, t)`).
 pub fn simulate_local(
     inst: &LocalInstance,
     params: LocalSimParams<'_>,
-    threshold: impl Fn(VertexId, u32) -> f64,
+    threshold: impl Fn(VertexId, u32) -> f64 + Sync,
 ) -> LocalSimOutput {
     let k = inst.vertices.len();
     assert_eq!(inst.residual_weights.len(), k);
@@ -97,19 +108,33 @@ pub fn simulate_local(
 
     let mut growth_t = 1.0f64;
     for t in 0..params.iterations as u32 {
-        // Simultaneous freeze test (line 2(g)i).
-        let mut to_freeze: Vec<u32> = Vec::new();
-        for lv in 0..k {
+        // Simultaneous freeze test (line 2(g)i). The scan reads only
+        // pre-iteration state, so each vertex's verdict is independent —
+        // for large parts it runs host-parallel (the threshold evaluation
+        // dominates), gathered back in vertex order so the freeze set is
+        // identical at any thread count.
+        let crosses = |lv: usize| -> bool {
             if !vertex_active[lv] {
-                continue;
+                return false;
             }
             let w = inst.residual_weights[lv];
             let y_est =
                 params.bias[t as usize] * w + mult * (frozen_sum[lv] + active_sum0[lv] * growth_t);
-            if y_est >= threshold(inst.vertices[lv], t) * w {
-                to_freeze.push(lv as u32);
-            }
-        }
+            y_est >= threshold(inst.vertices[lv], t) * w
+        };
+        let to_freeze: Vec<u32> = if k >= PARALLEL_SCAN_MIN_VERTICES {
+            let verdicts: Vec<bool> = (0..k).into_par_iter().map(crosses).collect();
+            verdicts
+                .into_iter()
+                .enumerate()
+                .filter_map(|(lv, f)| f.then_some(lv as u32))
+                .collect()
+        } else {
+            (0..k)
+                .filter(|&lv| crosses(lv))
+                .map(|lv| lv as u32)
+                .collect()
+        };
         for &lv in &to_freeze {
             vertex_active[lv as usize] = false;
             freeze_iter[lv as usize] = Some(t);

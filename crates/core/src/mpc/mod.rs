@@ -23,6 +23,6 @@ pub mod stats;
 
 pub use config::{BiasParams, IterationSchedule, MpcMwvcConfig, PhaseSwitch};
 pub use coupling::{run_coupled, CouplingReport, IterationDeviation};
-pub use distributed::{run_distributed, DistributedOutcome};
+pub use distributed::{recommended_cluster, run_distributed, DistributedOutcome};
 pub use reference::{run_reference, run_reference_observed, PhaseObserver, PhaseSnapshot};
 pub use stats::{FinalPhaseStats, MpcRunResult, PhaseStats};

@@ -186,7 +186,7 @@ pub fn run_reference_observed(
             .fold(f64::INFINITY, f64::min);
         let x0: Vec<f64> = h_eidx
             .edges()
-            .iter()
+            .par_iter()
             .map(|e| {
                 let (lu, lv) = (e.u() as usize, e.v() as usize);
                 config
@@ -204,7 +204,7 @@ pub fn run_reference_observed(
         // that any machine (and the distributed executor) can recompute it.
         let part_seed = partition_seed(config.seed, phase);
         let part_of: Vec<usize> = high
-            .iter()
+            .par_iter()
             .map(|&v| VertexPartition::part_of_vertex(v, machines, part_seed))
             .collect();
 
@@ -279,7 +279,7 @@ pub fn run_reference_observed(
         // of an endpoint (I if both survived).
         let x_mpc: Vec<f64> = h_eidx
             .edges()
-            .iter()
+            .par_iter()
             .enumerate()
             .map(|(heid, e)| {
                 let fu = freeze_iter[e.u() as usize];
@@ -296,17 +296,19 @@ pub fn run_reference_observed(
 
         // (2i) Over-freeze correction: active v ∈ V^high with
         // y^MPC_v = Σ_{e∋v, e∈E[V^high]} x^MPC_e ≥ w'(v) freeze now, so
-        // residual weights stay nonnegative.
-        let mut corrected = vec![false; high.len()];
-        for lv in 0..high.len() {
-            if freeze_iter[lv].is_some() {
-                continue;
-            }
-            let y = sorted_incident_sum(h_graph, &h_eidx, lv as VertexId, &x_mpc);
-            if y >= wp[lv] {
-                corrected[lv] = true;
-            }
-        }
+        // residual weights stay nonnegative. Each vertex's incident sum
+        // is independent (and canonically ordered), so the scan is
+        // host-parallel with bit-identical verdicts at any thread count.
+        let corrected: Vec<bool> = (0..high.len())
+            .into_par_iter()
+            .map(|lv| {
+                if freeze_iter[lv].is_some() {
+                    return false;
+                }
+                let y = sorted_incident_sum(h_graph, &h_eidx, lv as VertexId, &x_mpc);
+                y >= wp[lv]
+            })
+            .collect();
 
         observer.on_phase(&PhaseSnapshot {
             phase,

@@ -14,7 +14,7 @@
 //! so any machine — and the coupled centralized run of Lemma 4.6 — can
 //! evaluate them without communication.
 
-use mpc_sim::rng::{indexed_rng, streams};
+use mpc_sim::rng::{composite_rng, streams};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +34,14 @@ impl ThresholdScheme {
         debug_assert!(epsilon > 0.0 && epsilon < 0.25);
         match self {
             ThresholdScheme::UniformRandom => {
-                let key = (phase << 40) ^ ((vertex as u64) << 8) ^ (t as u64);
-                let mut rng = indexed_rng(seed, streams::THRESHOLD, key);
+                // Full-width composite key. An earlier revision packed
+                // (phase, vertex, t) into one u64 with shifts
+                // (phase << 40 ^ vertex << 8 ^ t), which silently
+                // collides once t reaches 256 (bleeding into the vertex
+                // field) or phase reaches 2^24 (wrapping off the top) —
+                // see the boundary regression tests below.
+                let mut rng =
+                    composite_rng(seed, streams::THRESHOLD, &[phase, vertex as u64, t as u64]);
                 let lo = 1.0 - 4.0 * epsilon;
                 let hi = 1.0 - 2.0 * epsilon;
                 rng.gen_range(lo..hi)
@@ -97,6 +103,47 @@ mod tests {
         let window = 2.0 * EPS;
         assert!(lo < 1.0 - 4.0 * EPS + 0.05 * window);
         assert!(hi > 1.0 - 2.0 * EPS - 0.05 * window);
+    }
+
+    #[test]
+    fn old_packed_key_boundaries_no_longer_collide() {
+        let s = ThresholdScheme::UniformRandom;
+        // t >= 256 used to bleed into the vertex field:
+        // key(p, v=1, t=0) == key(p, v=0, t=256) under the shift packing.
+        assert_ne!(
+            s.threshold(EPS, 3, 5, 1, 0),
+            s.threshold(EPS, 3, 5, 0, 256),
+            "iteration 256 must not alias vertex 1"
+        );
+        // More generally, every (v, t) with t = v * 256 aliased (v, 0)'s
+        // neighborhood; sweep a band around the boundary.
+        for v in 1..64u32 {
+            assert_ne!(
+                s.threshold(EPS, 3, 5, v, 0),
+                s.threshold(EPS, 3, 5, 0, v * 256),
+                "v={v}"
+            );
+        }
+        // phase >= 2^24 used to wrap off the top of the u64.
+        assert_ne!(
+            s.threshold(EPS, 3, 0, 7, 2),
+            s.threshold(EPS, 3, 1 << 24, 7, 2),
+            "phase 2^24 must not alias phase 0"
+        );
+    }
+
+    #[test]
+    fn large_iteration_counts_draw_distinct_thresholds() {
+        // Growing iteration schedules must keep drawing fresh randomness
+        // arbitrarily far out.
+        let s = ThresholdScheme::UniformRandom;
+        let draws: Vec<u64> = (0..2048u32)
+            .map(|t| s.threshold(EPS, 11, 2, 9, t).to_bits())
+            .collect();
+        let mut unique = draws.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), draws.len(), "duplicate threshold draws");
     }
 
     #[test]

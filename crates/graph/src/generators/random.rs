@@ -1,14 +1,85 @@
 //! Random graph families: Erdős–Rényi, Chung–Lu, R-MAT, random regular,
 //! random bipartite.
+//!
+//! # Parallel generation, reproducible seeds
+//!
+//! Every generator whose samples are independent (all but the
+//! configuration-model shuffle of [`random_regular`]) is generated
+//! host-parallel: the sample-index domain is split into chunks whose
+//! boundaries depend only on the instance parameters — never on the
+//! thread count — and each chunk draws from its own derived RNG
+//! substream. A seed therefore reproduces the identical graph at any
+//! thread count (and on the 1-thread inline path); chunks are spliced
+//! back in index order.
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, VertexId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 fn rng_for(seed: u64, salt: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
+}
+
+/// Fixed chunk count for parallel generation. Determinism requires only
+/// that the chunk *shape* is a pure function of the instance parameters;
+/// 64 chunks load-balance any plausible host width.
+const GEN_CHUNKS: u64 = 64;
+
+/// Splits `0..total` into at most [`GEN_CHUNKS`] contiguous ranges.
+fn chunk_ranges(total: u64) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let size = total.div_ceil(GEN_CHUNKS).max(1);
+    (0..total.div_ceil(size))
+        .map(|c| (c * size, ((c + 1) * size).min(total)))
+        .collect()
+}
+
+/// Per-chunk RNG substream: sequentially chained, domain-separated
+/// derivation of `(seed, salt, chunk)`, mirroring `mpc_sim::rng`'s
+/// indexed-substream scheme (commutative mixing collides; chaining does
+/// not). Chunks draw independently, so any chunk can be generated on any
+/// thread without affecting any other chunk's stream.
+fn chunk_rng(seed: u64, salt: u64, chunk: u64) -> ChaCha8Rng {
+    const CHUNK_LEAF: u64 = 0x4745_4e5f_4348_554e; // "GEN_CHUN"
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    fn chain(h: u64, value: u64) -> u64 {
+        splitmix64(h.rotate_left(23) ^ value)
+    }
+    ChaCha8Rng::seed_from_u64(chain(
+        chain(chain(splitmix64(seed), salt), chunk),
+        CHUNK_LEAF,
+    ))
+}
+
+/// Runs `gen_chunk(chunk_index, lo, hi)` over the fixed chunking of
+/// `0..total` in parallel and splices the per-chunk edge lists into `b`
+/// in chunk order.
+fn generate_chunked(
+    b: &mut GraphBuilder,
+    total: u64,
+    gen_chunk: impl Fn(u64, u64, u64) -> Vec<(VertexId, VertexId)> + Sync,
+) {
+    let ranges = chunk_ranges(total);
+    let per_chunk: Vec<Vec<(VertexId, VertexId)>> = ranges
+        .par_iter()
+        .enumerate()
+        .map(|(c, &(lo, hi))| gen_chunk(c as u64, lo, hi))
+        .collect();
+    for chunk in per_chunk {
+        for (u, v) in chunk {
+            b.add_edge(u, v);
+        }
+    }
 }
 
 /// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
@@ -22,7 +93,6 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     if n < 2 || p == 0.0 {
         return b.build();
     }
-    let mut rng = rng_for(seed, 0x0067_6e70); // "gnp"
     if p >= 1.0 {
         for u in 0..n as VertexId {
             for v in (u + 1)..n as VertexId {
@@ -33,24 +103,31 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     }
     // Enumerate pairs (u, v), u < v, in lexicographic order and skip
     // geometrically: the next present edge is `floor(log(U)/log(1-p))`
-    // positions ahead.
+    // positions ahead. Pair presence is i.i.d., so restarting the skip
+    // chain at each chunk boundary (with the chunk's own substream)
+    // samples the same distribution.
     let log1p = (1.0 - p).ln();
-    let mut idx: u64 = 0; // linear index into the pair sequence
     let total: u64 = n as u64 * (n as u64 - 1) / 2;
-    loop {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let skip = (u.ln() / log1p).floor() as u64;
-        idx = match idx.checked_add(skip) {
-            Some(i) => i,
-            None => break,
-        };
-        if idx >= total {
-            break;
+    generate_chunked(&mut b, total, |c, lo, hi| {
+        let mut rng = chunk_rng(seed, 0x0067_6e70, c); // "gnp"
+        let mut out = Vec::new();
+        let mut idx = lo;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / log1p).floor() as u64;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= hi {
+                break;
+            }
+            let (a, bv) = pair_from_index(n as u64, idx);
+            out.push((a as VertexId, bv as VertexId));
+            idx += 1;
         }
-        let (a, bv) = pair_from_index(n as u64, idx);
-        b.add_edge(a as VertexId, bv as VertexId);
-        idx += 1;
-    }
+        out
+    });
     b.build()
 }
 
@@ -86,6 +163,9 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     if m == 0 {
         return b.build();
     }
+    // Uniform sampling without replacement is sequential (each draw
+    // conditions on the previous ones), but the index→pair decode — the
+    // arithmetic-heavy part — parallelizes freely.
     // Dense request: sample which pairs are *absent* instead.
     if m * 3 > total * 2 {
         let mut present = vec![true; total];
@@ -97,21 +177,34 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
                 absent -= 1;
             }
         }
-        for (i, keep) in present.iter().enumerate() {
-            if *keep {
-                let (u, v) = pair_from_index(n as u64, i as u64);
-                b.add_edge(u as VertexId, v as VertexId);
-            }
-        }
+        generate_chunked(&mut b, total as u64, |_, lo, hi| {
+            (lo..hi)
+                .filter(|&i| present[i as usize])
+                .map(|i| {
+                    let (u, v) = pair_from_index(n as u64, i);
+                    (u as VertexId, v as VertexId)
+                })
+                .collect()
+        });
         return b.build();
     }
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
-    while seen.len() < m {
+    let mut chosen: Vec<u64> = Vec::with_capacity(m);
+    while chosen.len() < m {
         let i = rng.gen_range(0..total as u64);
         if seen.insert(i) {
-            let (u, v) = pair_from_index(n as u64, i);
-            b.add_edge(u as VertexId, v as VertexId);
+            chosen.push(i);
         }
+    }
+    let pairs: Vec<(VertexId, VertexId)> = chosen
+        .par_iter()
+        .map(|&i| {
+            let (u, v) = pair_from_index(n as u64, i);
+            (u as VertexId, v as VertexId)
+        })
+        .collect();
+    for (u, v) in pairs {
+        b.add_edge(u, v);
     }
     b.build()
 }
@@ -126,8 +219,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
 pub fn chung_lu(n: usize, beta: f64, target_avg_degree: f64, seed: u64) -> Graph {
     assert!(beta > 1.0, "power-law exponent must exceed 1");
     assert!(target_avg_degree >= 0.0);
-    let mut rng = rng_for(seed, 0x0063_6c75); // "clu"
-                                              // Desired weights, descending (vertex 0 is the biggest hub).
+    // Desired weights, descending (vertex 0 is the biggest hub).
     let gamma = 1.0 / (beta - 1.0);
     let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
     let sum: f64 = w.iter().sum();
@@ -140,33 +232,40 @@ pub fn chung_lu(n: usize, beta: f64, target_avg_degree: f64, seed: u64) -> Graph
     if n < 2 || total_w == 0.0 {
         return b.build();
     }
-    // For each u, scan candidates v > u with geometric skipping at rate
-    // q = min(1, w_u * w_v / total_w); since w is descending, process with
-    // the standard two-phase (skip with p_max, accept with p/p_max) scheme.
-    for u in 0..n - 1 {
-        let mut v = u + 1;
-        let mut p_max = (w[u] * w[v] / total_w).min(1.0);
-        while v < n && p_max > 0.0 {
-            // Skip ahead geometrically at rate p_max.
-            if p_max < 1.0 {
-                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let skip = (r.ln() / (1.0 - p_max).ln()).floor() as usize;
-                v = match v.checked_add(skip) {
-                    Some(x) => x,
-                    None => break,
-                };
+    // Each source row u is sampled independently of every other row, so
+    // rows are chunked across threads; within a chunk, each u scans
+    // candidates v > u with geometric skipping at rate
+    // q = min(1, w_u * w_v / total_w) — since w is descending, the
+    // standard two-phase (skip with p_max, accept with p/p_max) scheme.
+    generate_chunked(&mut b, (n - 1) as u64, |c, lo, hi| {
+        let mut rng = chunk_rng(seed, 0x0063_6c75, c); // "clu"
+        let mut out = Vec::new();
+        for u in lo as usize..hi as usize {
+            let mut v = u + 1;
+            let mut p_max = (w[u] * w[v] / total_w).min(1.0);
+            while v < n && p_max > 0.0 {
+                // Skip ahead geometrically at rate p_max.
+                if p_max < 1.0 {
+                    let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let skip = (r.ln() / (1.0 - p_max).ln()).floor() as usize;
+                    v = match v.checked_add(skip) {
+                        Some(x) => x,
+                        None => break,
+                    };
+                }
+                if v >= n {
+                    break;
+                }
+                let p = (w[u] * w[v] / total_w).min(1.0);
+                if rng.gen_range(0.0..1.0) < p / p_max {
+                    out.push((u as VertexId, v as VertexId));
+                }
+                p_max = p;
+                v += 1;
             }
-            if v >= n {
-                break;
-            }
-            let p = (w[u] * w[v] / total_w).min(1.0);
-            if rng.gen_range(0.0..1.0) < p / p_max {
-                b.add_edge(u as VertexId, v as VertexId);
-            }
-            p_max = p;
-            v += 1;
         }
-    }
+        out
+    });
     b.build()
 }
 
@@ -206,39 +305,48 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Gr
     );
     let n: usize = 1 << scale;
     let m = edge_factor * n;
-    let mut rng = rng_for(seed, 0x726d_6174); // "rmat"
     let mut b = GraphBuilder::with_capacity(n, m);
-    for _ in 0..m {
-        let (mut lo_u, mut hi_u) = (0usize, n);
-        let (mut lo_v, mut hi_v) = (0usize, n);
-        while hi_u - lo_u > 1 {
-            let r: f64 = rng.gen_range(0.0..1.0);
-            let mid_u = (lo_u + hi_u) / 2;
-            let mid_v = (lo_v + hi_v) / 2;
-            if r < params.a {
-                hi_u = mid_u;
-                hi_v = mid_v;
-            } else if r < params.a + params.b {
-                hi_u = mid_u;
-                lo_v = mid_v;
-            } else if r < params.a + params.b + params.c {
-                lo_u = mid_u;
-                hi_v = mid_v;
-            } else {
-                lo_u = mid_u;
-                lo_v = mid_v;
+    // Every edge sample is independent: chunk the m draws.
+    generate_chunked(&mut b, m as u64, |c, lo, hi| {
+        let mut rng = chunk_rng(seed, 0x726d_6174, c); // "rmat"
+        let mut out = Vec::new();
+        for _ in lo..hi {
+            let (mut lo_u, mut hi_u) = (0usize, n);
+            let (mut lo_v, mut hi_v) = (0usize, n);
+            while hi_u - lo_u > 1 {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                let mid_u = (lo_u + hi_u) / 2;
+                let mid_v = (lo_v + hi_v) / 2;
+                if r < params.a {
+                    hi_u = mid_u;
+                    hi_v = mid_v;
+                } else if r < params.a + params.b {
+                    hi_u = mid_u;
+                    lo_v = mid_v;
+                } else if r < params.a + params.b + params.c {
+                    lo_u = mid_u;
+                    hi_v = mid_v;
+                } else {
+                    lo_u = mid_u;
+                    lo_v = mid_v;
+                }
+            }
+            if lo_u != lo_v {
+                out.push((lo_u as VertexId, lo_v as VertexId));
             }
         }
-        if lo_u != lo_v {
-            b.add_edge(lo_u as VertexId, lo_v as VertexId);
-        }
-    }
+        out
+    });
     b.build()
 }
 
 /// Random `k`-regular-ish graph via the configuration model: `k` stubs per
 /// vertex are paired uniformly; self-loops and duplicate pairings are
 /// dropped, so degrees are `≤ k` and concentrated at `k` for `k ≪ n`.
+///
+/// Stays sequential: the Fisher–Yates shuffle is a chain of dependent
+/// swaps with no independent substructure to chunk (only the CSR
+/// finalization parallelizes, inside [`GraphBuilder::build`]).
 pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
     assert!(k < n, "degree must be below vertex count");
     let mut rng = rng_for(seed, 0x0072_6567); // "reg"
@@ -265,7 +373,6 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> Graph {
 pub fn random_bipartite(n_left: usize, n_right: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p));
     let n = n_left + n_right;
-    let mut rng = rng_for(seed, 0x0062_6970); // "bip"
     let mut b = GraphBuilder::new(n);
     if p == 0.0 || n_left == 0 || n_right == 0 {
         return b.build();
@@ -279,23 +386,29 @@ pub fn random_bipartite(n_left: usize, n_right: usize, p: f64, seed: u64) -> Gra
         }
         return b.build();
     }
+    // I.i.d. cross pairs: geometric skipping per chunk, as in `gnp`.
     let log1p = (1.0 - p).ln();
-    let mut idx: u64 = 0;
-    loop {
-        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let skip = (r.ln() / log1p).floor() as u64;
-        idx = match idx.checked_add(skip) {
-            Some(i) => i,
-            None => break,
-        };
-        if idx >= total {
-            break;
+    generate_chunked(&mut b, total, |c, lo, hi| {
+        let mut rng = chunk_rng(seed, 0x0062_6970, c); // "bip"
+        let mut out = Vec::new();
+        let mut idx = lo;
+        loop {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / log1p).floor() as u64;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= hi {
+                break;
+            }
+            let u = (idx / n_right as u64) as usize;
+            let v = (idx % n_right as u64) as usize;
+            out.push((u as VertexId, (n_left + v) as VertexId));
+            idx += 1;
         }
-        let u = (idx / n_right as u64) as usize;
-        let v = (idx % n_right as u64) as usize;
-        b.add_edge(u as VertexId, (n_left + v) as VertexId);
-        idx += 1;
-    }
+        out
+    });
     b.build()
 }
 

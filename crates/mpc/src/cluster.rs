@@ -66,7 +66,7 @@ pub struct Cluster<S, M> {
 impl<S, M> Cluster<S, M>
 where
     S: Send + Words,
-    M: Send + Words,
+    M: Send + Sync + Words,
 {
     /// Creates a cluster with `config.num_machines` machines, initializing
     /// machine `i`'s state to `init(i)`.

@@ -68,7 +68,7 @@ pub fn sample_sort<K>(
     seed: u64,
 ) -> (Vec<Vec<K>>, ExecutionTrace)
 where
-    K: Ord + Clone + Send + Words,
+    K: Ord + Clone + Send + Sync + Words,
 {
     assert_eq!(input.len(), config.num_machines);
     assert!(oversample >= 1);

@@ -25,6 +25,10 @@ pub mod streams {
 const STREAM_LEAF: u64 = 0x5354_5245_414d_5f31; // "STREAM_1"
 /// Domain tag finishing a `(seed, stream, index)` derivation.
 const INDEX_LEAF: u64 = 0x494e_4445_5845_445f; // "INDEXED_"
+/// Domain tag finishing a `(seed, stream, [k_0, .., k_{n-1}])` derivation.
+/// The component count is absorbed too, so a shorter tuple can never
+/// collide with a longer one sharing a prefix.
+const COMPOSITE_LEAF: u64 = 0x434f_4d50_4f53_4954; // "COMPOSIT"
 
 /// Derives an independent generator for `(seed, stream)`.
 pub fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
@@ -47,6 +51,24 @@ pub fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
 pub fn indexed_rng(seed: u64, stream: u64, index: u64) -> ChaCha8Rng {
     let mixed = chain(chain(chain(splitmix64(seed), stream), index), INDEX_LEAF);
     ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Derives a generator for `(seed, stream, keys[0], keys[1], ...)` with
+/// every component absorbed at full 64-bit width.
+///
+/// This is the derivation to use when the index is logically a tuple
+/// (e.g. the threshold key `(phase, vertex, iteration)`): packing tuple
+/// components into one `u64` with shifts silently collides once a
+/// component outgrows its bit field, whereas chained absorption keeps
+/// arbitrary-magnitude components separated. The component count is
+/// absorbed as well, so prefix tuples of different lengths stay distinct.
+pub fn composite_rng(seed: u64, stream: u64, keys: &[u64]) -> ChaCha8Rng {
+    let mut h = chain(splitmix64(seed), stream);
+    for &k in keys {
+        h = chain(h, k);
+    }
+    h = chain(h, keys.len() as u64);
+    ChaCha8Rng::seed_from_u64(chain(h, COMPOSITE_LEAF))
 }
 
 /// One order-sensitive absorption step: feed `value` into the running
@@ -113,6 +135,47 @@ mod tests {
             let b: u64 = indexed_rng(1, i1.wrapping_add(0x1234), s1.wrapping_sub(0x1234)).gen();
             assert_ne!(a, b, "commutative-mixing collision for ({s1}, {i1})");
         }
+    }
+
+    #[test]
+    fn composite_streams_separate_every_component() {
+        let base: u64 = composite_rng(1, streams::THRESHOLD, &[2, 3, 4]).gen();
+        assert_ne!(
+            base,
+            composite_rng(2, streams::THRESHOLD, &[2, 3, 4]).gen(),
+            "seed"
+        );
+        assert_ne!(
+            base,
+            composite_rng(1, streams::PARTITION, &[2, 3, 4]).gen(),
+            "stream"
+        );
+        for i in 0..3 {
+            let mut keys = [2u64, 3, 4];
+            keys[i] += 1;
+            assert_ne!(
+                base,
+                composite_rng(1, streams::THRESHOLD, &keys).gen(),
+                "component {i}"
+            );
+        }
+        // Length is part of the derivation: a prefix is not the tuple.
+        assert_ne!(base, composite_rng(1, streams::THRESHOLD, &[2, 3]).gen());
+        assert_ne!(
+            base,
+            composite_rng(1, streams::THRESHOLD, &[2, 3, 4, 0]).gen()
+        );
+        // And reproducible.
+        assert_eq!(base, composite_rng(1, streams::THRESHOLD, &[2, 3, 4]).gen());
+    }
+
+    #[test]
+    fn composite_differs_from_indexed_and_plain() {
+        let a: u64 = composite_rng(1, streams::MACHINE, &[5]).gen();
+        let b: u64 = indexed_rng(1, streams::MACHINE, 5).gen();
+        let c: u64 = stream_rng(1, streams::MACHINE).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

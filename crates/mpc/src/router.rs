@@ -4,10 +4,31 @@
 //! any other. The only restriction is capacity — per round, no machine may
 //! send or receive more words than its memory `S` (the paper's Section
 //! 1.1). The router measures both sides, delivers, and reports.
+//!
+//! # Parallel shuffle
+//!
+//! Delivery is a destination shuffle, executed host-parallel in three
+//! deterministic stages when the round is large enough to pay for it:
+//!
+//! 1. **tally** (parallel over senders): per-sender word totals plus
+//!    per-(sender, destination) message/word counts,
+//! 2. **layout** (sequential, O(machines²)): exclusive prefix sums give
+//!    every sender a starting slot in every destination's inbox,
+//! 3. **place** (parallel over senders): each sender writes its messages
+//!    into its preassigned disjoint slots.
+//!
+//! The slot layout reproduces the canonical sender-then-emission order
+//! exactly, so the routed inboxes — and therefore everything downstream —
+//! are bit-identical to the sequential path at any thread count.
 
 use crate::accounting::{Violation, ViolationKind};
 use crate::model::{Enforcement, MpcConfig};
 use crate::words::Words;
+use rayon::prelude::*;
+
+/// Below this total message count the sequential path wins; the parallel
+/// path produces identical output, so the cutover is invisible.
+const PARALLEL_SHUFFLE_MIN_MSGS: usize = 4096;
 
 /// Result of routing one round's outboxes.
 pub struct RoutedRound<M> {
@@ -21,31 +42,36 @@ pub struct RoutedRound<M> {
     pub violations: Vec<Violation>,
 }
 
+/// Raw slot pointer into one inbox buffer; senders write disjoint slots.
+struct InboxPtr<M>(*mut M);
+unsafe impl<M: Send> Send for InboxPtr<M> {}
+unsafe impl<M: Send> Sync for InboxPtr<M> {}
+
+impl<M> InboxPtr<M> {
+    fn slot(&self, index: usize) -> *mut M {
+        // SAFETY bound: callers stay within the reserved capacity.
+        unsafe { self.0.add(index) }
+    }
+}
+
 /// Routes `outboxes[machine] = [(dest, message), ...]` to per-destination
 /// inboxes, enforcing the send/receive caps.
-pub fn route<M: Words>(
+pub fn route<M: Words + Send + Sync>(
     config: &MpcConfig,
     round: usize,
     outboxes: Vec<Vec<(usize, M)>>,
 ) -> RoutedRound<M> {
     let m = config.num_machines;
     assert_eq!(outboxes.len(), m, "one outbox per machine");
+    let total_msgs: usize = outboxes.iter().map(Vec::len).sum();
+    let (inboxes, sent_words, received_words) = if total_msgs >= PARALLEL_SHUFFLE_MIN_MSGS {
+        shuffle_parallel(m, outboxes)
+    } else {
+        shuffle_sequential(m, outboxes)
+    };
+
     let cap = config.memory_words;
-    let mut sent_words = vec![0usize; m];
-    let mut received_words = vec![0usize; m];
-    let mut inboxes: Vec<Vec<M>> = (0..m).map(|_| Vec::new()).collect();
     let mut violations = Vec::new();
-
-    for (from, outbox) in outboxes.into_iter().enumerate() {
-        for (to, msg) in outbox {
-            assert!(to < m, "machine {from} addressed nonexistent machine {to}");
-            let w = msg.words();
-            sent_words[from] += w;
-            received_words[to] += w;
-            inboxes[to].push(msg);
-        }
-    }
-
     for machine in 0..m {
         if sent_words[machine] > cap {
             let v = Violation {
@@ -87,6 +113,101 @@ pub fn route<M: Words>(
         received_words,
         violations,
     }
+}
+
+type Shuffled<M> = (Vec<Vec<M>>, Vec<usize>, Vec<usize>);
+
+fn shuffle_sequential<M: Words>(m: usize, outboxes: Vec<Vec<(usize, M)>>) -> Shuffled<M> {
+    let mut sent_words = vec![0usize; m];
+    let mut received_words = vec![0usize; m];
+    let mut inboxes: Vec<Vec<M>> = (0..m).map(|_| Vec::new()).collect();
+    for (from, outbox) in outboxes.into_iter().enumerate() {
+        for (to, msg) in outbox {
+            assert!(to < m, "machine {from} addressed nonexistent machine {to}");
+            let w = msg.words();
+            sent_words[from] += w;
+            received_words[to] += w;
+            inboxes[to].push(msg);
+        }
+    }
+    (inboxes, sent_words, received_words)
+}
+
+fn shuffle_parallel<M: Words + Send + Sync>(
+    m: usize,
+    outboxes: Vec<Vec<(usize, M)>>,
+) -> Shuffled<M> {
+    // Stage 1 — tally, parallel over senders.
+    struct Tally {
+        sent: usize,
+        msgs_to: Vec<u32>,
+        words_to: Vec<usize>,
+    }
+    let tallies: Vec<Tally> = outboxes
+        .par_iter()
+        .enumerate()
+        .map(|(from, outbox)| {
+            let mut t = Tally {
+                sent: 0,
+                msgs_to: vec![0u32; m],
+                words_to: vec![0usize; m],
+            };
+            for (to, msg) in outbox {
+                assert!(*to < m, "machine {from} addressed nonexistent machine {to}");
+                let w = msg.words();
+                t.sent += w;
+                t.words_to[*to] += w;
+                t.msgs_to[*to] += 1;
+            }
+            t
+        })
+        .collect();
+
+    // Stage 2 — layout: start[from][to] = Σ_{f < from} msgs_to[f][to],
+    // i.e. the canonical sender-then-emission order per destination.
+    let sent_words: Vec<usize> = tallies.iter().map(|t| t.sent).collect();
+    let mut received_words = vec![0usize; m];
+    let mut recv_msgs = vec![0usize; m];
+    for t in &tallies {
+        for (to, (rw, rm)) in received_words.iter_mut().zip(&mut recv_msgs).enumerate() {
+            *rw += t.words_to[to];
+            *rm += t.msgs_to[to] as usize;
+        }
+    }
+    let mut starts: Vec<Vec<usize>> = Vec::with_capacity(m);
+    let mut cursor = vec![0usize; m];
+    for t in &tallies {
+        starts.push(cursor.clone());
+        for (to, c) in cursor.iter_mut().enumerate() {
+            *c += t.msgs_to[to] as usize;
+        }
+    }
+
+    // Stage 3 — place, parallel over senders into disjoint slot ranges.
+    let mut inboxes: Vec<Vec<M>> = recv_msgs.iter().map(|&n| Vec::with_capacity(n)).collect();
+    let bases: Vec<InboxPtr<M>> = inboxes
+        .iter_mut()
+        .map(|v| InboxPtr(v.as_mut_ptr()))
+        .collect();
+    outboxes
+        .into_par_iter()
+        .zip(starts.into_par_iter())
+        .for_each(|(outbox, mut next)| {
+            for (to, msg) in outbox {
+                // SAFETY: `next[to]` ranges over this sender's reserved
+                // slots in destination `to`'s buffer; slot ranges of
+                // different senders are disjoint by the prefix-sum layout
+                // and stay within the reserved capacity.
+                unsafe { bases[to].slot(next[to]).write(msg) };
+                next[to] += 1;
+            }
+        });
+    for (inbox, &n) in inboxes.iter_mut().zip(&recv_msgs) {
+        // SAFETY: exactly `n` slots of this buffer were initialized above
+        // (message writes are plain moves and cannot panic).
+        unsafe { inbox.set_len(n) };
+    }
+    (inboxes, sent_words, received_words)
 }
 
 #[cfg(test)]
@@ -155,5 +276,55 @@ mod tests {
     #[should_panic(expected = "nonexistent")]
     fn bad_destination_panics() {
         let _ = route(&cfg(2, 10), 0, vec![vec![(5, 1u64)], vec![]]);
+    }
+
+    /// Synthetic round big enough to take the parallel path.
+    fn big_outboxes(m: usize, per_sender: usize) -> Vec<Vec<(usize, u64)>> {
+        (0..m)
+            .map(|from| {
+                (0..per_sender)
+                    .map(|k| (((from * 31 + k * 7) % m), (from * 100_000 + k) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_shuffle_matches_sequential_exactly() {
+        let m = 13;
+        let per = 1024; // 13 * 1024 > PARALLEL_SHUFFLE_MIN_MSGS
+        let (pi, ps, pr) = shuffle_parallel(m, big_outboxes(m, per));
+        let (si, ss, sr) = shuffle_sequential(m, big_outboxes(m, per));
+        assert_eq!(ps, ss);
+        assert_eq!(pr, sr);
+        assert_eq!(pi, si, "inbox contents and order must be identical");
+    }
+
+    #[test]
+    fn parallel_shuffle_preserves_sender_then_emission_order() {
+        // Every sender sends an increasing sequence to destination 0; the
+        // inbox must hold sender 0's block, then sender 1's, each in
+        // emission order.
+        let m = 4;
+        let per = 2000;
+        let outboxes: Vec<Vec<(usize, u64)>> = (0..m)
+            .map(|from| {
+                (0..per)
+                    .map(|k| (0usize, (from * per + k) as u64))
+                    .collect()
+            })
+            .collect();
+        let (inboxes, ..) = shuffle_parallel(m, outboxes);
+        let expect: Vec<u64> = (0..(m * per) as u64).collect();
+        assert_eq!(inboxes[0], expect);
+        assert!(inboxes[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent")]
+    fn parallel_path_still_checks_destinations() {
+        let mut boxes = big_outboxes(3, 2048);
+        boxes[1][17].0 = 99;
+        let _ = route(&cfg(3, 1 << 30), 0, boxes);
     }
 }

@@ -1,0 +1,172 @@
+//! Thread-count determinism: the full pipeline — generators, reference
+//! executor, distributed executor — must produce **bit-identical** output
+//! on pools of 1, 2, and N threads.
+//!
+//! This is the contract the vendored work-stealing `rayon` promises
+//! (order-preserving indexed collects, fixed-shape reductions) verified
+//! end-to-end through every layer that uses it. Any scheduling
+//! sensitivity anywhere in the tree fails these tests.
+
+use mwvc_repro::core::mpc::{
+    recommended_cluster, run_distributed, run_reference, DistributedOutcome, MpcMwvcConfig,
+};
+use mwvc_repro::graph::generators::RmatParams;
+use mwvc_repro::graph::generators::{chung_lu, gnm, gnp, random_bipartite, random_regular, rmat};
+use mwvc_repro::graph::{WeightModel, WeightedGraph};
+use rayon::ThreadPool;
+
+const EPS: f64 = 0.1;
+const SEED: u64 = 4242;
+
+/// The pool widths every artifact is checked across. 1 is the inline
+/// sequential baseline; 2 and 5 exercise genuinely different stealing
+/// patterns.
+const POOL_WIDTHS: [usize; 3] = [1, 2, 5];
+
+fn pools() -> Vec<(usize, ThreadPool)> {
+    POOL_WIDTHS
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("build test pool"),
+            )
+        })
+        .collect()
+}
+
+/// Runs `f` on every pool width and asserts all results equal the
+/// 1-thread baseline under `check`.
+fn assert_identical_across_pools<T>(f: impl Fn() -> T, check: impl Fn(&T, &T, usize)) {
+    let runs: Vec<(usize, T)> = pools().iter().map(|(t, p)| (*t, p.install(&f))).collect();
+    let (_, baseline) = &runs[0];
+    for (t, run) in &runs[1..] {
+        check(baseline, run, *t);
+    }
+}
+
+fn instance() -> WeightedGraph {
+    let g = gnm(2_000, 40_000, SEED); // d = 40: multiple phases under `practical`
+    let w = WeightModel::Uniform { lo: 1.0, hi: 9.0 }.sample(&g, SEED ^ 1);
+    WeightedGraph::new(g, w)
+}
+
+fn assert_outcomes_bit_identical(a: &DistributedOutcome, b: &DistributedOutcome, threads: usize) {
+    assert_eq!(a.cover, b.cover, "covers diverged at {threads} threads");
+    assert_eq!(
+        a.certificate.x.len(),
+        b.certificate.x.len(),
+        "certificate length diverged at {threads} threads"
+    );
+    for (i, (x, y)) in a.certificate.x.iter().zip(&b.certificate.x).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "certificate edge {i} diverged at {threads} threads: {x} vs {y}"
+        );
+    }
+    assert_eq!(
+        a.phases, b.phases,
+        "phase count diverged at {threads} threads"
+    );
+    assert_eq!(a.trace, b.trace, "traces diverged at {threads} threads");
+}
+
+#[test]
+fn distributed_pipeline_is_bit_identical_across_thread_counts() {
+    let wg = instance();
+    let cfg = MpcMwvcConfig::practical(EPS, SEED);
+    let cluster = recommended_cluster(&wg, &cfg);
+    assert_identical_across_pools(
+        || run_distributed(&wg, &cfg, cluster),
+        assert_outcomes_bit_identical,
+    );
+}
+
+#[test]
+fn reference_executor_is_bit_identical_across_thread_counts() {
+    let wg = instance();
+    let cfg = MpcMwvcConfig::practical(EPS, SEED);
+    assert_identical_across_pools(
+        || run_reference(&wg, &cfg),
+        |a, b, threads| {
+            assert_eq!(a.cover, b.cover, "covers diverged at {threads} threads");
+            for (i, (x, y)) in a.certificate.x.iter().zip(&b.certificate.x).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "certificate edge {i} diverged at {threads} threads"
+                );
+            }
+            assert_eq!(
+                a.phases, b.phases,
+                "phase stats diverged at {threads} threads"
+            );
+        },
+    );
+}
+
+#[test]
+fn generators_reproduce_identically_across_thread_counts() {
+    assert_identical_across_pools(
+        || {
+            (
+                gnp(3_000, 0.01, SEED),
+                gnm(3_000, 30_000, SEED),
+                chung_lu(3_000, 2.3, 12.0, SEED),
+                rmat(11, 10, RmatParams::default(), SEED),
+                random_bipartite(1_500, 1_500, 0.008, SEED),
+                random_regular(3_000, 10, SEED),
+            )
+        },
+        |a, b, threads| {
+            assert_eq!(a.0, b.0, "gnp diverged at {threads} threads");
+            assert_eq!(a.1, b.1, "gnm diverged at {threads} threads");
+            assert_eq!(a.2, b.2, "chung_lu diverged at {threads} threads");
+            assert_eq!(a.3, b.3, "rmat diverged at {threads} threads");
+            assert_eq!(a.4, b.4, "random_bipartite diverged at {threads} threads");
+            assert_eq!(a.5, b.5, "random_regular diverged at {threads} threads");
+        },
+    );
+}
+
+#[test]
+fn weights_reproduce_identically_across_thread_counts() {
+    let g = gnm(2_000, 20_000, SEED);
+    for model in [
+        WeightModel::Uniform { lo: 0.5, hi: 20.0 },
+        WeightModel::Exponential { mean: 4.0 },
+    ] {
+        assert_identical_across_pools(
+            || model.sample(&g, SEED ^ 7),
+            |a, b, threads| {
+                for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "weight {i} diverged at {threads} threads"
+                    );
+                }
+            },
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_in_one_pool_are_stable() {
+    // Not just across pools: two runs inside the same multi-threaded pool
+    // (different stealing schedules) must also agree bit-for-bit.
+    let wg = instance();
+    let cfg = MpcMwvcConfig::practical(EPS, SEED);
+    let cluster = recommended_cluster(&wg, &cfg);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let a = pool.install(|| run_distributed(&wg, &cfg, cluster));
+    let b = pool.install(|| run_distributed(&wg, &cfg, cluster));
+    assert_outcomes_bit_identical(&a, &b, 4);
+}

@@ -1,0 +1,658 @@
+//! Parallel iterators over indexed sources.
+//!
+//! # Model
+//!
+//! Everything here is an *indexed* parallel iterator: a [`ParallelSource`]
+//! knows its exact length and can produce the item at any index
+//! independently of every other index. That model covers this workspace's
+//! entire usage (slices, vecs, ranges, and `map`/`zip`/`enumerate`
+//! towers) and makes determinism structural:
+//!
+//! * **Order-preserving `collect`** — item `i` is written to output slot
+//!   `i`, so the result is identical under any scheduling.
+//! * **Fixed-shape reductions** — `sum`/`reduce` split the index space
+//!   into chunks whose boundaries depend only on the length (never on the
+//!   thread count), compute per-chunk partials, and combine them in chunk
+//!   order. Floating-point results are therefore bit-identical at every
+//!   thread count, including the 1-thread inline path (which uses the
+//!   same chunk shape).
+//!
+//! # Caveats (vendored stand-in, not full rayon)
+//!
+//! * Only indexed sources are supported; `filter`/`flat_map`-style
+//!   length-changing adapters are not provided.
+//! * `zip` of different-length `into_par_iter` vectors leaks (does not
+//!   drop) the longer tail's elements; zip equal lengths.
+//! * If a closure panics mid-drive, items already produced into a
+//!   pending `collect` are leaked, never double-dropped.
+
+use crate::pool::{current_state, run_chunks};
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+
+/// Chunk-shape policy for every drive: aim for a fixed number of chunks
+/// so the reduction tree depends only on the length.
+const TARGET_CHUNKS: usize = 64;
+
+fn chunk_len(len: usize) -> usize {
+    len.div_ceil(TARGET_CHUNKS).max(1)
+}
+
+/// A fixed-length source whose items can be produced by index, in any
+/// order, from any thread.
+///
+/// # Safety
+///
+/// Implementations may hand out `&mut` references or move values out, so
+/// callers must produce each index in `0..len()` **at most once** across
+/// all threads. The drive functions in this module uphold this by
+/// partitioning the index space into disjoint chunks.
+pub unsafe trait ParallelSource: Sync {
+    /// The produced item.
+    type Item: Send;
+    /// Exact number of items.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produces the item at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index < len()`, and each index is produced at most once.
+    unsafe fn produce(&self, index: usize) -> Self::Item;
+}
+
+/// Raw pointer wrapper that may cross threads; used for disjoint
+/// index-addressed writes into preallocated buffers.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Slot pointer at `index`. Taking `&self` (not the field) keeps
+    /// closures capturing the whole Sync wrapper, not the raw pointer.
+    fn at(&self, index: usize) -> *mut T {
+        // SAFETY bound: callers stay within the allocated capacity.
+        unsafe { self.0.add(index) }
+    }
+}
+
+/// Drives `src`, writing item `i` into `out[i]`, and returns the filled
+/// vector. Order-preserving and deterministic under any scheduling.
+fn collect_vec<S: ParallelSource>(src: S) -> Vec<S::Item> {
+    let n = src.len();
+    let mut out: Vec<S::Item> = Vec::with_capacity(n);
+    let base = SharedPtr(out.as_mut_ptr());
+    let chunk = chunk_len(n);
+    let chunks = n.div_ceil(chunk.max(1));
+    run_chunks(&current_state(), chunks, &|c| {
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            // SAFETY: chunks partition 0..n, so each slot is written once;
+            // the buffer has capacity n.
+            unsafe { base.at(i).write(src.produce(i)) };
+        }
+    });
+    // SAFETY: all n slots were initialized (a panic would have propagated
+    // out of run_chunks before reaching here).
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Per-chunk partials in chunk order. The chunk shape depends only on the
+/// length, so the partial sequence is identical at every thread count.
+fn chunk_partials<S, T>(src: &S, fold_chunk: &(dyn Fn(Range<usize>) -> T + Sync)) -> Vec<T>
+where
+    S: ParallelSource,
+    T: Send,
+{
+    let n = src.len();
+    let chunk = chunk_len(n);
+    let chunks = n.div_ceil(chunk.max(1));
+    let mut partials: Vec<T> = Vec::with_capacity(chunks);
+    let base = SharedPtr(partials.as_mut_ptr());
+    run_chunks(&current_state(), chunks, &|c| {
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        // SAFETY: one write per chunk index, capacity `chunks`.
+        unsafe { base.at(c).write(fold_chunk(start..end)) };
+    });
+    unsafe { partials.set_len(chunks) };
+    partials
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The iterator's item.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Identity conversion: every parallel iterator converts to itself, so
+/// adapters can be passed wherever `IntoParallelIterator` is expected
+/// (e.g. as the `zip` argument).
+impl<I: ParallelSource + Sized> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// Borrowing conversion, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator's item (a shared reference).
+    type Item: Send + 'data;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Mutably borrowing conversion, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator's item (a mutable reference).
+    type Item: Send + 'data;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds `Self` from the iterator, preserving index order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        collect_vec(iter)
+    }
+}
+
+/// The user-facing combinator surface. Implemented for every
+/// [`ParallelSource`]; method semantics mirror `rayon`.
+pub trait ParallelIterator: ParallelSource + Sized {
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs items with equal indices of `other`; the length is the
+    /// shorter of the two.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let n = self.len();
+        let chunk = chunk_len(n);
+        let chunks = n.div_ceil(chunk.max(1));
+        run_chunks(&current_state(), chunks, &|c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                // SAFETY: chunks partition the index space.
+                f(unsafe { self.produce(i) });
+            }
+        });
+    }
+
+    /// Collects into `C` preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items with a fixed-shape reduction tree: per-chunk
+    /// sequential sums combined in chunk order — bit-identical at every
+    /// thread count.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = chunk_partials(&self, &|range| {
+            // SAFETY: ranges partition the index space.
+            range.map(|i| unsafe { self.produce(i) }).sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Reduces with `op` from `identity`, with the same fixed-shape
+    /// chunk tree as [`ParallelIterator::sum`].
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let partials = chunk_partials(&self, &|range| {
+            // SAFETY: ranges partition the index space.
+            range
+                .map(|i| unsafe { self.produce(i) })
+                .fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+impl<T: ParallelSource + Sized> ParallelIterator for T {}
+
+/// Alias used by rayon for length-aware iterators; here every iterator is
+/// indexed, so the traits coincide.
+pub use self::ParallelIterator as IndexedParallelIterator;
+
+// ── Sources ────────────────────────────────────────────────────────────
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+unsafe impl<'data, T: Sync> ParallelSource for SliceIter<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        self.slice.get_unchecked(index)
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    marker: PhantomData<&'data mut [T]>,
+}
+
+// SAFETY: disjoint-index production hands out aliasing-free &mut.
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+unsafe impl<'data, T: Send> ParallelSource for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        &mut *self.ptr.add(index)
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut [T] {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+/// Consuming parallel iterator over `Vec<T>`: items are moved out by
+/// index; the buffer is freed (without dropping moved-out elements) when
+/// the iterator drops.
+pub struct VecIter<T> {
+    vec: ManuallyDrop<Vec<T>>,
+}
+
+// SAFETY: items are moved out under the disjoint-index contract; T: Send
+// is all that crossing threads requires.
+unsafe impl<T: Send> Sync for VecIter<T> {}
+
+unsafe impl<T: Send> ParallelSource for VecIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        std::ptr::read(self.vec.as_ptr().add(index))
+    }
+}
+
+impl<T> Drop for VecIter<T> {
+    fn drop(&mut self) {
+        // Free the buffer without dropping elements: produced ones moved
+        // out; unproduced ones (drive panicked mid-way) are leaked rather
+        // than risking a double drop.
+        unsafe {
+            self.vec.set_len(0);
+            ManuallyDrop::drop(&mut self.vec);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter {
+            vec: ManuallyDrop::new(self),
+        }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($t:ty) => {
+        unsafe impl ParallelSource for RangeIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn produce(&self, index: usize) -> Self::Item {
+                self.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter {
+                    start: self.start,
+                    len,
+                }
+            }
+        }
+    };
+}
+
+range_source!(usize);
+range_source!(u32);
+range_source!(u64);
+
+// ── Adapters ───────────────────────────────────────────────────────────
+
+/// See [`ParallelIterator::map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+unsafe impl<S, F, R> ParallelSource for Map<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        (self.f)(self.base.produce(index))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A, B> ParallelSource for Zip<A, B>
+where
+    A: ParallelSource,
+    B: ParallelSource,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        (self.a.produce(index), self.b.produce(index))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<S> {
+    base: S,
+}
+
+unsafe impl<S: ParallelSource> ParallelSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn produce(&self, index: usize) -> Self::Item {
+        (index, self.base.produce(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+
+    #[test]
+    fn par_iter_mut_zip_enumerate_collect_preserves_order() {
+        let mut states = vec![0u64; 5];
+        let inboxes: Vec<Vec<u64>> = (0..5).map(|i| vec![i as u64]).collect();
+        let out: Vec<(usize, u64)> = states
+            .par_iter_mut()
+            .zip(inboxes.into_par_iter())
+            .enumerate()
+            .map(|(id, (st, inbox))| {
+                *st = inbox[0] * 10;
+                (id, *st)
+            })
+            .collect();
+        assert_eq!(out, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(states, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn par_iter_on_slice_and_vec() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 12);
+        let s2: i32 = v[..].par_iter().sum();
+        assert_eq!(s2, 6);
+    }
+
+    #[test]
+    fn collect_is_order_preserving_at_any_thread_count() {
+        let n = 10_000usize;
+        let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 2, 5, 8] {
+            let p = ThreadPool::new(threads);
+            let got: Vec<usize> = p.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // Heterogeneous magnitudes so any reassociation changes the bits.
+        let xs: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1_000_003) as f64 * 1e-7 + 1e3)
+            .collect();
+        let baseline: f64 = ThreadPool::new(1).install(|| xs.par_iter().map(|x| x * 1.5).sum());
+        for threads in [2, 3, 8] {
+            let p = ThreadPool::new(threads);
+            let s: f64 = p.install(|| xs.par_iter().map(|x| x * 1.5).sum());
+            assert_eq!(s.to_bits(), baseline.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_uses_fixed_shape() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt()).collect();
+        let one = ThreadPool::new(1).install(|| {
+            xs.par_iter()
+                .map(|&x| x)
+                .reduce(|| 0.0f64, |a, b| a * 0.5 + b)
+        });
+        let four = ThreadPool::new(4).install(|| {
+            xs.par_iter()
+                .map(|&x| x)
+                .reduce(|| 0.0f64, |a, b| a * 0.5 + b)
+        });
+        assert_eq!(one.to_bits(), four.to_bits());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_and_frees() {
+        let v: Vec<String> = (0..500).map(|i| format!("s{i}")).collect();
+        let p = ThreadPool::new(4);
+        let lens: Vec<usize> = p.install(|| v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 500);
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[499], 4);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..3000).map(|_| AtomicUsize::new(0)).collect();
+        let p = ThreadPool::new(6);
+        p.install(|| {
+            (0..3000usize).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_sources_work() {
+        let v: Vec<u32> = Vec::new();
+        let s: u32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+        let out: Vec<u32> = (0u32..0).into_par_iter().collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let p = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..1000usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 617 {
+                            panic!("bad item");
+                        }
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    /// Stress: collect/sum storms across pools; run via `-- --ignored`.
+    #[test]
+    #[ignore = "stress test: run explicitly with -- --ignored"]
+    fn stress_collect_and_sum() {
+        let iters: usize = std::env::var("RAYON_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500);
+        let p = ThreadPool::new(8);
+        let xs: Vec<u64> = (0..40_000).collect();
+        let expect_sum: u64 = xs.iter().sum();
+        for i in 0..iters {
+            let s: u64 = p.install(|| xs.par_iter().map(|&x| x).sum());
+            assert_eq!(s, expect_sum, "iter {i}");
+            let doubled: Vec<u64> = p.install(|| xs.par_iter().map(|&x| x * 2).collect());
+            assert_eq!(doubled[12345], 24690);
+        }
+    }
+}

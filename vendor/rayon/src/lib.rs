@@ -1,107 +1,54 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — a real work-stealing host executor.
 //!
-//! Exposes the `par_iter` / `par_iter_mut` / `into_par_iter` entry points
-//! as plain sequential `std` iterators, so all downstream combinators
-//! (`zip`, `enumerate`, `map`, `collect`, …) are ordinary `Iterator`
-//! methods. Results are bit-identical to a real rayon run for the usage
-//! in this workspace (order-preserving indexed collects); only host
-//! wall-clock parallelism is lost, never model-level semantics. The MPC
-//! simulator charges model costs independently of host threading, so this
-//! substitution is observationally equivalent apart from speed.
+//! # Contract
+//!
+//! This crate replaces the former sequential shim with a genuine
+//! multi-threaded pool built on `std::thread` + `std::sync`:
+//!
+//! * **Pool** ([`pool`]) — a persistent pool of `T` logical threads
+//!   (`T - 1` spawned workers plus the driving caller), each worker with
+//!   its own deque (own work popped LIFO from the back, stolen FIFO from
+//!   the front). Waiting threads help-execute queued jobs, so nested
+//!   parallelism cannot deadlock. `T` comes from
+//!   [`ThreadPoolBuilder::num_threads`], else `RAYON_NUM_THREADS`, else
+//!   the hardware parallelism; `T = 1` executes strictly inline with no
+//!   worker threads.
+//! * **Fork–join** ([`scope`](mod@scope)) — [`join`] and
+//!   [`scope`]/[`Scope::spawn`] with panic propagation to the forking
+//!   caller.
+//! * **Parallel iterators** ([`iter`]) — indexed sources (slices, vecs,
+//!   ranges) with `map`/`zip`/`enumerate` adapters and
+//!   `collect`/`for_each`/`sum`/`reduce` consumers, driven by chunked
+//!   index-range splitting over the pool.
+//!
+//! # Determinism guarantee
+//!
+//! Results are **bit-identical at every thread count** (including 1) and
+//! across runs: `collect` writes item `i` to slot `i`; `sum`/`reduce`
+//! use a reduction tree whose shape depends only on the input length,
+//! never on the thread count or scheduling. The MPC simulator's model
+//! costs (rounds/traffic/memory) were already independent of host
+//! threading; with this pool its host wall-clock now scales with cores
+//! while every simulated quantity stays exactly reproducible.
+//!
+//! # Differences from real rayon
+//!
+//! Only the API surface this workspace uses is provided (see `iter.rs`
+//! for caveats). Swapping in the real crate remains a one-line change in
+//! the root manifest's `[workspace.dependencies]`.
 
-/// Consuming conversion, mirroring `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Self::Iter;
-}
+pub mod iter;
+mod pool;
+mod scope;
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
+pub use pool::{current_num_threads, GlobalPoolAlreadyInitialized, ThreadPool, ThreadPoolBuilder};
+pub use scope::{join, scope, Scope};
 
-/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'data self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-where
-    &'data C: IntoIterator,
-{
-    type Item = <&'data C as IntoIterator>::Item;
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Mutably borrowing conversion, mirroring
-/// `rayon::iter::IntoParallelRefMutIterator`.
-pub trait IntoParallelRefMutIterator<'data> {
-    type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
-where
-    &'data mut C: IntoIterator,
-{
-    type Item = <&'data mut C as IntoIterator>::Item;
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Number of host worker threads. The sequential stand-in always runs on
-/// the calling thread.
-pub fn current_num_threads() -> usize {
-    1
-}
-
+/// The traits a caller needs in scope to use `par_iter` & friends,
+/// mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
-}
-
-pub mod iter {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
-}
-
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
-
-    #[test]
-    fn par_iter_mut_zip_enumerate_collect_preserves_order() {
-        let mut states = vec![0u64; 5];
-        let inboxes: Vec<Vec<u64>> = (0..5).map(|i| vec![i as u64]).collect();
-        let out: Vec<(usize, u64)> = states
-            .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .enumerate()
-            .map(|(id, (st, inbox))| {
-                *st = inbox[0] * 10;
-                (id, *st)
-            })
-            .collect();
-        assert_eq!(out, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
-        assert_eq!(states, vec![0, 10, 20, 30, 40]);
-    }
-
-    #[test]
-    fn par_iter_on_slice_and_vec() {
-        let v = vec![1, 2, 3];
-        let s: i32 = v.par_iter().map(|x| x * 2).sum();
-        assert_eq!(s, 12);
-        let s2: i32 = v[..].par_iter().sum();
-        assert_eq!(s2, 6);
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }

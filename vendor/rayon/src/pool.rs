@@ -1,0 +1,584 @@
+//! The work-stealing pool: persistent workers, per-worker deques, and the
+//! chunked-drive primitive every parallel iterator runs on.
+//!
+//! # Scheduling model
+//!
+//! A pool of `T` threads consists of `T - 1` spawned workers plus the
+//! calling thread, which participates in every operation it drives (so
+//! `T = 1` means strictly sequential inline execution — no worker threads
+//! at all). Each worker owns a deque: it pushes and pops its own work at
+//! the back (LIFO, for cache locality) and steals from other workers' —
+//! and the shared injector's — front (FIFO, for fairness). Threads that
+//! must wait (for a `join` sibling, a `scope`, or a chunked drive) never
+//! block idly while work exists: they execute queued jobs until their
+//! wait condition resolves ("help-first" waiting), which also makes
+//! nested parallelism deadlock-free.
+//!
+//! # Determinism
+//!
+//! Scheduling is nondeterministic; *results* are not. Every primitive
+//! exposed from this module assigns work by index into preallocated,
+//! disjoint output slots, so any interleaving produces the same output.
+//! Reduction shapes are fixed by the caller (see `iter.rs`), never by the
+//! thread count.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// How long an idle thread sleeps before re-checking its wake condition.
+/// A pure safety net: every state change that can satisfy a wait also
+/// notifies the pool's condvar under the sleep lock.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A type-erased pointer to a job payload plus its execution shim.
+///
+/// The payload lives either on the stack of a thread that is guaranteed
+/// to outlive the job's execution (`StackJob`, chunk drives) or on the
+/// heap (`scope` spawns). Safety rests on the invariant that a `JobRef`
+/// is executed exactly once and that stack payloads are not popped off
+/// the owning stack frame until their job is known to have finished.
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: the payload types are constrained to Send closures by the
+// public entry points that construct JobRefs.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new(data: *const (), exec: unsafe fn(*const ())) -> Self {
+        Self { data, exec }
+    }
+
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// Shared state of one pool.
+pub(crate) struct PoolState {
+    /// Logical thread count `T` (workers + the driving caller).
+    threads: usize,
+    /// One deque per spawned worker (`T - 1` of them).
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs pushed by threads that are not workers of this pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Number of queued jobs across all queues (wake signal).
+    pending: AtomicUsize,
+    /// Sleep/wake machinery: idle threads wait here.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Set once by `ThreadPool::drop`; workers drain their queues, then exit.
+    shutdown: AtomicBool,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl PoolState {
+    fn new(threads: usize) -> Self {
+        let workers = threads.saturating_sub(1);
+        Self {
+            threads,
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Logical thread count of this pool.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pushes `jobs` onto the current thread's own deque (if it is a
+    /// worker of this pool) or the injector, then wakes sleepers.
+    pub(crate) fn push_jobs(self: &Arc<Self>, jobs: impl IntoIterator<Item = JobRef>) {
+        let own = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|(state, index)| Arc::ptr_eq(state, self).then_some(*index))
+        });
+        let queue = match own {
+            Some(i) => &self.deques[i],
+            None => &self.injector,
+        };
+        let mut n = 0;
+        {
+            let mut q = lock_ignore_poison(queue);
+            for job in jobs {
+                q.push_back(job);
+                n += 1;
+            }
+        }
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        self.notify_all();
+    }
+
+    /// Pops or steals one job. `index` is this thread's worker index in
+    /// this pool, if any.
+    fn find_job(&self, index: Option<usize>) -> Option<JobRef> {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        // Own deque first, from the back.
+        if let Some(i) = index {
+            if let Some(job) = lock_ignore_poison(&self.deques[i]).pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        // Then the injector, then the other workers' deques, from the front.
+        if let Some(job) = lock_ignore_poison(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let w = self.deques.len();
+        let start = index.map_or(0, |i| i + 1);
+        for k in 0..w {
+            let j = (start + k) % w.max(1);
+            if Some(j) == index {
+                continue;
+            }
+            if let Some(job) = lock_ignore_poison(&self.deques[j]).pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Wakes every sleeping thread of the pool. Acquiring the sleep lock
+    /// before notifying closes the check-then-sleep race in `park_unless`.
+    pub(crate) fn notify_all(&self) {
+        let _guard = lock_ignore_poison(&self.sleep_lock);
+        self.sleep_cv.notify_all();
+    }
+
+    /// Sleeps until notified (or the safety-net timeout), unless
+    /// `awake()` already holds under the sleep lock.
+    fn park_unless(&self, awake: &dyn Fn() -> bool) {
+        let guard = lock_ignore_poison(&self.sleep_lock);
+        if awake() {
+            return;
+        }
+        let _ = self.sleep_cv.wait_timeout(guard, PARK_TIMEOUT);
+    }
+
+    /// Executes queued jobs until `done()` holds. The workhorse behind
+    /// `join`, `scope`, and chunked drives: waiting threads keep the pool
+    /// saturated instead of blocking.
+    pub(crate) fn wait_until(&self, done: &dyn Fn() -> bool) {
+        let index = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|(state, index)| std::ptr::eq(&**state, self).then_some(*index))
+        });
+        while !done() {
+            match self.find_job(index) {
+                Some(job) => unsafe { job.execute() },
+                None => self.park_unless(&|| done() || self.pending.load(Ordering::SeqCst) > 0),
+            }
+        }
+    }
+
+    fn worker_main(self: Arc<Self>, index: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&self), index)));
+        loop {
+            while let Some(job) = self.find_job(Some(index)) {
+                unsafe { job.execute() };
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.park_unless(&|| {
+                self.pending.load(Ordering::SeqCst) > 0 || self.shutdown.load(Ordering::SeqCst)
+            });
+        }
+        WORKER.with(|w| *w.borrow_mut() = None);
+    }
+}
+
+thread_local! {
+    /// Set on pool worker threads: (their pool, their worker index).
+    static WORKER: RefCell<Option<(Arc<PoolState>, usize)>> = const { RefCell::new(None) };
+    /// Stack of pools made current on this thread via `ThreadPool::install`.
+    static INSTALLED: RefCell<Vec<Arc<PoolState>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The pool the current thread's parallel operations run on: the thread's
+/// own pool if it is a worker, else the innermost `install`ed pool, else
+/// the lazily-built global pool.
+pub(crate) fn current_state() -> Arc<PoolState> {
+    if let Some(state) = WORKER.with(|w| w.borrow().as_ref().map(|(s, _)| Arc::clone(s))) {
+        return state;
+    }
+    if let Some(state) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        return state;
+    }
+    Arc::clone(&global().state)
+}
+
+/// An owned thread pool. Dropping it shuts the workers down (after they
+/// drain their queues).
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` logical threads (`threads - 1` workers
+    /// plus the driving caller). `0` means the environment default
+    /// (`RAYON_NUM_THREADS`, else the hardware parallelism).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let state = Arc::new(PoolState::new(threads));
+        let handles = (0..threads.saturating_sub(1))
+            .map(|index| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{index}"))
+                    .spawn(move || state.worker_main(index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { state, handles }
+    }
+
+    /// Logical thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.state.threads()
+    }
+
+    /// Runs `f` with this pool as the current thread's pool: every
+    /// parallel operation inside (including nested ones on this thread)
+    /// executes here instead of the global pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.state)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Mirrors `rayon::ThreadPoolBuilder` for the configuration surface this
+/// workspace uses.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]: the global pool was
+/// already initialized.
+#[derive(Debug)]
+pub struct GlobalPoolAlreadyInitialized;
+
+impl std::fmt::Display for GlobalPoolAlreadyInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for GlobalPoolAlreadyInitialized {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the logical thread count (`0` = environment default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds an owned pool.
+    pub fn build(self) -> Result<ThreadPool, GlobalPoolAlreadyInitialized> {
+        Ok(ThreadPool::new(self.num_threads))
+    }
+
+    /// Installs the configuration as the process-global pool. Fails if
+    /// the global pool was already (lazily or explicitly) created.
+    pub fn build_global(self) -> Result<(), GlobalPoolAlreadyInitialized> {
+        GLOBAL
+            .set(ThreadPool::new(self.num_threads))
+            .map_err(|_| GlobalPoolAlreadyInitialized)
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// `RAYON_NUM_THREADS` if set to a positive integer, else the hardware
+/// parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Number of logical threads of the current pool.
+pub fn current_num_threads() -> usize {
+    current_state().threads()
+}
+
+// ── Chunked drive ──────────────────────────────────────────────────────
+
+/// Shared control block of one chunked drive, on the driving thread's
+/// stack. Runner jobs claim chunk indices from `next` until exhausted.
+struct ChunkDrive<'a> {
+    body: &'a (dyn Fn(usize) + Sync),
+    num_chunks: usize,
+    next: AtomicUsize,
+    /// Chunks not yet finished executing.
+    remaining: AtomicUsize,
+    /// Spawned runner jobs that have finished executing (each runs to
+    /// completion in one shot). The drive returns only once every spawned
+    /// job has run, so no queued `JobRef` can outlive this struct.
+    exited: AtomicUsize,
+    spawned: usize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    state: Arc<PoolState>,
+}
+
+impl ChunkDrive<'_> {
+    /// Claims and executes chunks until none are left.
+    ///
+    /// The `remaining`-drain notify inside the loop may touch `self`
+    /// afterwards: `done()` also requires this runner's `exited`
+    /// increment (helpers) or happens on the waiting thread itself (the
+    /// inline caller), so the control block cannot be popped mid-loop.
+    fn run(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::SeqCst);
+            if c >= self.num_chunks {
+                return;
+            }
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| (self.body)(c))) {
+                lock_ignore_poison(&self.panic).get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.state.notify_all();
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
+            && self.exited.load(Ordering::SeqCst) == self.spawned
+    }
+}
+
+unsafe fn chunk_runner(data: *const ()) {
+    let drive = &*(data as *const ChunkDrive<'_>);
+    // The exited increment may complete `done()`, letting the driving
+    // thread return and pop the stack frame holding the ChunkDrive — so
+    // the pool handle must be cloned out *before* publishing, and the
+    // drive must not be touched after.
+    let state = Arc::clone(&drive.state);
+    drive.run();
+    drive.exited.fetch_add(1, Ordering::SeqCst);
+    state.notify_all();
+}
+
+/// Executes `body(c)` for every chunk index `c in 0..num_chunks`,
+/// potentially in parallel on `state`'s pool, returning once all chunks
+/// have finished. The first panic (by chunk completion order) is
+/// propagated after every chunk has run.
+///
+/// Chunk *assignment* to threads is nondeterministic; callers make the
+/// overall operation deterministic by writing to disjoint, index-addressed
+/// output and by fixing the chunk shape independently of the thread count.
+pub(crate) fn run_chunks(state: &Arc<PoolState>, num_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    if num_chunks == 0 {
+        return;
+    }
+    if state.threads() <= 1 || num_chunks == 1 {
+        // Inline sequential execution: same chunk shape, no machinery.
+        for c in 0..num_chunks {
+            body(c);
+        }
+        return;
+    }
+    // The caller is one runner; spawn helpers for the rest of the pool.
+    let helpers = state.threads().min(num_chunks) - 1;
+    let drive = ChunkDrive {
+        body,
+        num_chunks,
+        next: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(num_chunks),
+        exited: AtomicUsize::new(0),
+        spawned: helpers,
+        panic: Mutex::new(None),
+        state: Arc::clone(state),
+    };
+    let drive_ptr = &drive as *const ChunkDrive<'_> as *const ();
+    // SAFETY: `wait_until(done)` below guarantees every spawned JobRef has
+    // executed before this frame returns, so the stack payload outlives
+    // all references to it.
+    state.push_jobs((0..helpers).map(|_| unsafe { JobRef::new(drive_ptr, chunk_runner) }));
+    drive.run();
+    state.wait_until(&|| drive.done());
+    let payload = lock_ignore_poison(&drive.panic).take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(threads: usize) -> ThreadPool {
+        ThreadPool::new(threads)
+    }
+
+    fn drive_counts(p: &ThreadPool, chunks: usize) -> Vec<usize> {
+        let hits: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+        p.install(|| {
+            run_chunks(&current_state(), chunks, &|c| {
+                hits[c].fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        hits.into_iter().map(|h| h.into_inner()).collect()
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let p = pool(threads);
+            for chunks in [0, 1, 2, 3, 64, 257] {
+                assert_eq!(drive_counts(&p, chunks), vec![1; chunks], "T={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_panic_propagates_after_completion() {
+        let p = pool(4);
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.install(|| {
+                run_chunks(&current_state(), 16, &|c| {
+                    if c == 7 {
+                        panic!("chunk 7 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 15, "other chunks still ran");
+    }
+
+    #[test]
+    fn nested_drives_do_not_deadlock() {
+        let p = pool(3);
+        let total = AtomicUsize::new(0);
+        p.install(|| {
+            run_chunks(&current_state(), 8, &|_| {
+                run_chunks(&current_state(), 8, &|_| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(total.into_inner(), 64);
+    }
+
+    #[test]
+    fn install_overrides_global() {
+        let p = pool(5);
+        assert_eq!(p.install(current_num_threads), 5);
+    }
+
+    #[test]
+    fn env_default_is_respected_shape_only() {
+        // Can't set env safely in-process for the global pool (it may
+        // already be built); just check the parser path.
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let p = pool(4);
+        let n = AtomicUsize::new(0);
+        p.install(|| {
+            run_chunks(&current_state(), 32, &|_| {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        drop(p);
+        assert_eq!(n.into_inner(), 32);
+    }
+
+    /// Stress: repeated concurrent drives with panics mixed in. Run with
+    /// `cargo test --release -p rayon -- --ignored` (CI's race-shaking
+    /// job); iteration count scales via RAYON_STRESS_ITERS.
+    #[test]
+    #[ignore = "stress test: run explicitly with -- --ignored"]
+    fn stress_chunked_drives() {
+        let iters: usize = std::env::var("RAYON_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000);
+        let p = pool(8);
+        for i in 0..iters {
+            let chunks = 1 + i % 97;
+            assert_eq!(drive_counts(&p, chunks), vec![1; chunks]);
+            if i % 5 == 0 {
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    p.install(|| {
+                        run_chunks(&current_state(), chunks, &|c| {
+                            if c == chunks / 2 {
+                                panic!("boom");
+                            }
+                        })
+                    })
+                }));
+                assert!(r.is_err());
+            }
+        }
+    }
+}

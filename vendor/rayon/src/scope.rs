@@ -1,0 +1,327 @@
+//! Fork–join primitives: [`join`] and [`scope`]/[`Scope::spawn`].
+//!
+//! Both follow the pool's help-first waiting discipline: a thread waiting
+//! for its sibling closure or its spawned tasks executes other queued
+//! jobs meanwhile, so arbitrarily nested fork–join structures cannot
+//! deadlock. Panics in either branch (or any spawned task) propagate to
+//! the forking caller after all of its obligations have finished.
+
+use crate::pool::{current_state, JobRef, PoolState};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn store_first_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+    slot.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get_or_insert(payload);
+}
+
+/// A closure job living on the forking thread's stack while a `join`
+/// waits for it.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+    state: Arc<PoolState>,
+}
+
+// SAFETY: access is serialized by the job protocol — the executor writes
+// func/result before setting `done`; the owner reads them only after.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute_shim(data: *const ()) {
+        let job = &*(data as *const Self);
+        let func = (*job.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *job.result.get() = Some(result);
+        // Setting `done` lets the forking thread return from `join` and
+        // pop the stack frame holding this job — clone the pool handle
+        // out first and never touch `job` after the store.
+        let state = Arc::clone(&job.state);
+        job.done.store(true, Ordering::SeqCst);
+        state.notify_all();
+    }
+}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Either closure's panic resumes on the caller once both have
+/// finished.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let state = current_state();
+    if state.threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    let job = StackJob::<B, RB> {
+        func: UnsafeCell::new(Some(oper_b)),
+        result: UnsafeCell::new(None),
+        done: AtomicBool::new(false),
+        state: Arc::clone(&state),
+    };
+    // SAFETY: `wait_until(done)` below keeps this frame alive until the
+    // job has executed, and the shim runs exactly once.
+    state.push_jobs([unsafe {
+        JobRef::new(
+            &job as *const StackJob<B, RB> as *const (),
+            StackJob::<B, RB>::execute_shim,
+        )
+    }]);
+    let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    state.wait_until(&|| job.done.load(Ordering::SeqCst));
+    // SAFETY: `done` was set with SeqCst after the result write.
+    let rb = unsafe { (*job.result.get()).take().expect("sibling finished") };
+    match (ra, rb) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(p), _) => panic::resume_unwind(p),
+        (_, Err(p)) => panic::resume_unwind(p),
+    }
+}
+
+/// A fork–join scope: tasks spawned on it may borrow from the enclosing
+/// stack frame (`'scope`), and [`scope`] does not return until all of
+/// them (including transitively spawned ones) have finished.
+pub struct Scope<'scope> {
+    state: Arc<PoolState>,
+    /// Spawned tasks not yet finished.
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over 'scope, like rayon's.
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+struct HeapJob<'scope> {
+    func: Box<dyn FnOnce() + Send + 'scope>,
+    scope: *const Scope<'scope>,
+}
+
+/// Send-able wrapper for the scope pointer captured by spawned closures.
+/// Safety: the pointee outlives every spawned task (see [`scope`]).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Method receiver forces closures to capture the whole Send wrapper
+    /// rather than disjointly capturing the raw-pointer field.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+unsafe fn heap_job_shim(data: *const ()) {
+    // SAFETY: constructed from Box::into_raw in `spawn`; executed once.
+    // The scope outlives execution because `scope()` waits for pending=0,
+    // which this shim decrements only at the very end.
+    let job: Box<HeapJob<'_>> = Box::from_raw(data as *mut HeapJob<'_>);
+    let scope = &*job.scope;
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job.func)) {
+        store_first_panic(&scope.panic, payload);
+    }
+    // Draining `pending` lets `scope()` return and drop the Scope —
+    // clone the pool handle out first and never touch `scope` after the
+    // decrement.
+    let state = Arc::clone(&scope.state);
+    scope.pending.fetch_sub(1, Ordering::SeqCst);
+    state.notify_all();
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` to run on the pool (inline when the pool is
+    /// sequential). The closure may borrow anything that outlives the
+    /// scope and may spawn further tasks on it.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if self.state.threads() <= 1 {
+            body(self);
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let this = ScopePtr(self as *const Scope<'scope>);
+        let scope_ptr = this.0;
+        let job = Box::new(HeapJob {
+            func: Box::new(move || body(unsafe { &*this.get() })),
+            scope: scope_ptr,
+        });
+        let data = Box::into_raw(job) as *const ();
+        // SAFETY: `scope()` waits for `pending == 0` before returning, so
+        // the erased 'scope borrows stay valid for the job's lifetime.
+        self.state
+            .push_jobs([unsafe { JobRef::new(data, heap_job_shim) }]);
+    }
+}
+
+/// Creates a scope, runs `f` on it, and waits for every spawned task.
+/// The first panic (from `f` itself first, else from the earliest-failing
+/// spawned task) resumes on the caller after all tasks finished.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let state = current_state();
+    let s = Scope {
+        state: Arc::clone(&state),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    state.wait_until(&|| s.pending.load(Ordering::SeqCst) == 0);
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_computes_both_branches() {
+        for threads in [1, 2, 4] {
+            let p = ThreadPool::new(threads);
+            assert_eq!(p.install(|| fib(16)), 987, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_moves_results() {
+        let p = ThreadPool::new(3);
+        let (a, b) = p.install(|| join(|| vec![1, 2], || "hi".to_string()));
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, "hi");
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let p = ThreadPool::new(4);
+        for side in 0..2 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                p.install(|| {
+                    join(
+                        || {
+                            if side == 0 {
+                                panic!("left")
+                            }
+                        },
+                        || {
+                            if side == 1 {
+                                panic!("right")
+                            }
+                        },
+                    )
+                })
+            }));
+            assert!(r.is_err(), "side {side}");
+        }
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 2, 4] {
+            let p = ThreadPool::new(threads);
+            let count = AtomicUsize::new(0);
+            p.install(|| {
+                scope(|s| {
+                    for _ in 0..20 {
+                        s.spawn(|inner| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                            inner.spawn(|_| {
+                                count.fetch_add(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                });
+            });
+            assert_eq!(count.into_inner(), 40, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scope_spawns_may_borrow_stack_data() {
+        let p = ThreadPool::new(4);
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        p.install(|| {
+            scope(|s| {
+                for (i, x) in data.iter().enumerate() {
+                    let slot = &sums[i];
+                    s.spawn(move |_| {
+                        slot.store(*x as usize * 10, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        let got: Vec<usize> = sums.into_iter().map(|a| a.into_inner()).collect();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic() {
+        let p = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task failed"));
+                });
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    /// Stress: deep nested joins under a small pool, shaking out lost
+    /// wakeups and helping bugs. Run via `-- --ignored`.
+    #[test]
+    #[ignore = "stress test: run explicitly with -- --ignored"]
+    fn stress_nested_joins() {
+        let iters: u64 = std::env::var("RAYON_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000);
+        let p = ThreadPool::new(4);
+        for i in 0..iters {
+            let n = 10 + (i % 8);
+            let expect = fib_seq(n);
+            assert_eq!(p.install(|| fib(n)), expect);
+        }
+    }
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+}
