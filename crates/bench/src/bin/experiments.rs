@@ -1,27 +1,43 @@
-//! CLI entry point regenerating every experiment table.
+//! CLI entry point for the experiment tables and the benchmark suite.
 //!
 //! ```text
-//! experiments all                 # run the full suite
-//! experiments e01 e05             # run selected experiments
-//! experiments all --csv out/      # also write one CSV per table
-//! experiments scaling --threads 4 # pin the host pool width
+//! experiments all                   # run the full experiment-table suite
+//! experiments e01 e05               # run selected experiments
+//! experiments all --csv out/        # also write one CSV per table
+//! experiments scaling --threads 4   # pin the host pool width
+//! experiments bench --quick         # benchmark matrix -> BENCH_core.json
+//! experiments bench --out B.json    # choose the output path
+//! experiments --list                # enumerate experiments and workloads
 //! ```
+//!
+//! Exit codes: `0` on success, `2` on any usage error (unknown
+//! subcommand, unknown flag, missing flag argument).
 
-use mwvc_bench::experiments;
+use mwvc_bench::harness::{self, BenchSuite};
+use mwvc_bench::{experiments, Table};
 use std::io::Write;
 use std::time::Instant;
 
+#[derive(Default)]
+struct Options {
+    ids: Vec<String>,
+    csv_dir: Option<String>,
+    threads: Option<usize>,
+    quick: bool,
+    full: bool,
+    out: Option<String>,
+    list: bool,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ids: Vec<String> = Vec::new();
-    let mut csv_dir: Option<String> = None;
-    let mut threads: Option<usize> = None;
+    let mut opt = Options::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--csv" => {
                 i += 1;
-                csv_dir = Some(
+                opt.csv_dir = Some(
                     args.get(i)
                         .unwrap_or_else(|| usage("--csv needs a directory"))
                         .clone(),
@@ -37,16 +53,34 @@ fn main() {
                 if t == 0 {
                     usage("--threads needs a positive integer");
                 }
-                threads = Some(t);
+                opt.threads = Some(t);
             }
-            "--help" | "-h" => {
-                usage("");
+            "--out" => {
+                i += 1;
+                opt.out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--out needs a file path"))
+                        .clone(),
+                );
             }
-            other => ids.push(other.to_string()),
+            "--quick" => opt.quick = true,
+            "--full" => opt.full = true,
+            "--list" => opt.list = true,
+            "--help" | "-h" => help(),
+            flag if flag.starts_with('-') => usage(&format!("unknown flag {flag:?}")),
+            other => opt.ids.push(other.to_string()),
         }
         i += 1;
     }
-    if let Some(t) = threads {
+
+    if opt.list {
+        if !opt.ids.is_empty() {
+            usage("--list takes no further arguments");
+        }
+        list();
+    }
+
+    if let Some(t) = opt.threads {
         // Pin the global pool before any parallel work builds it lazily.
         // (The `scaling` experiment sweeps its own pools regardless.)
         rayon::ThreadPoolBuilder::new()
@@ -54,51 +88,121 @@ fn main() {
             .build_global()
             .expect("--threads must be set before the pool is first used");
     }
-    if ids.is_empty() {
+
+    if opt.ids.iter().any(|id| id == "bench") {
+        run_bench(&opt);
+        return;
+    }
+    run_tables(&opt);
+}
+
+/// `experiments bench`: the workload matrix -> BENCH_core.json.
+fn run_bench(opt: &Options) {
+    if opt.ids.len() != 1 {
+        usage("'bench' cannot be combined with other experiments");
+    }
+    if opt.quick && opt.full {
+        usage("--quick and --full are mutually exclusive");
+    }
+    let suite = if opt.quick {
+        BenchSuite::Quick
+    } else {
+        BenchSuite::Full
+    };
+    let out_path = opt.out.clone().unwrap_or_else(|| "BENCH_core.json".into());
+    let start = Instant::now();
+    eprintln!("[bench] running the {} suite...", suite.label());
+    let (report, table) = harness::run_suite(suite);
+    emit_tables("bench", &[table], &opt.csv_dir);
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "[bench] wrote {out_path} ({} workloads) in {:.1}s",
+        report.workloads.len(),
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Classic experiment tables (`e01`..`e13`, `scaling`, `all`).
+fn run_tables(opt: &Options) {
+    if opt.quick || opt.full || opt.out.is_some() {
+        usage("--quick/--full/--out apply to the 'bench' subcommand only");
+    }
+    if opt.ids.is_empty() {
         usage("no experiments selected");
     }
     let registry = experiments::all();
-    let selected: Vec<_> = if ids.iter().any(|i| i == "all") {
-        registry
-    } else {
-        let known: Vec<&str> = registry.iter().map(|(id, _)| *id).collect();
-        for id in &ids {
-            if !known.contains(&id.as_str()) {
-                usage(&format!(
-                    "unknown experiment {id:?}; known: {known:?} or 'all'"
-                ));
-            }
+    let known: Vec<&str> = registry.iter().map(|(id, _)| *id).collect();
+    // Validate every requested id — including alongside "all" — so a typo
+    // can never silently succeed.
+    for id in &opt.ids {
+        if id != "all" && !known.contains(&id.as_str()) {
+            usage(&format!(
+                "unknown experiment {id:?}; known: {known:?}, 'all', or 'bench'"
+            ));
         }
-        registry
-            .into_iter()
-            .filter(|(id, _)| ids.iter().any(|want| want == id))
-            .collect()
-    };
-
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv output directory");
     }
+    let run_all = opt.ids.iter().any(|i| i == "all");
+    let selected: Vec<_> = registry
+        .into_iter()
+        .filter(|(id, _)| run_all || opt.ids.iter().any(|want| want == id))
+        .collect();
+
     for (id, run) in selected {
         let start = Instant::now();
         eprintln!("[{id}] running...");
         let tables = run();
-        for (k, table) in tables.iter().enumerate() {
-            print!("{}", table.render());
-            if let Some(dir) = &csv_dir {
-                let path = format!("{dir}/{id}_{k}.csv");
-                std::fs::write(&path, table.to_csv()).expect("write csv");
-                eprintln!("[{id}] wrote {path}");
-            }
-        }
+        emit_tables(id, &tables, &opt.csv_dir);
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
         let _ = std::io::stdout().flush();
     }
 }
 
-fn usage(err: &str) -> ! {
-    if !err.is_empty() {
-        eprintln!("error: {err}");
+fn emit_tables(id: &str, tables: &[Table], csv_dir: &Option<String>) {
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
     }
+    for (k, table) in tables.iter().enumerate() {
+        print!("{}", table.render());
+        if let Some(dir) = csv_dir {
+            let path = format!("{dir}/{id}_{k}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("[{id}] wrote {path}");
+        }
+    }
+}
+
+/// `--list`: experiments and benchmark workloads, one per line.
+fn list() -> ! {
+    println!("experiments:");
+    for (id, _) in experiments::all() {
+        println!("  {id}");
+    }
+    println!("  bench");
+    for suite in [BenchSuite::Quick, BenchSuite::Full] {
+        println!("bench workloads ({}):", suite.label());
+        for w in harness::workload_matrix(suite) {
+            println!("  {}", w.id);
+        }
+    }
+    std::process::exit(0);
+}
+
+fn help() -> ! {
+    print_usage();
+    std::process::exit(0);
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    print_usage();
+    std::process::exit(2);
+}
+
+fn print_usage() {
     eprintln!("usage: experiments <e01..e13 | scaling | all>... [--csv DIR] [--threads N]");
-    std::process::exit(if err.is_empty() { 0 } else { 2 });
+    eprintln!("       experiments bench [--quick | --full] [--out PATH] [--threads N]");
+    eprintln!("       experiments --list");
 }

@@ -1,0 +1,352 @@
+//! The benchmark harness: a fixed workload matrix (generator families ×
+//! weight models × ε × size tiers) driven through the audited distributed
+//! executor plus the classic baselines, producing a [`BenchReport`].
+//!
+//! Determinism contract: everything in the report except `wall_clock_s`
+//! is a pure function of the workload definition — bit-identical at any
+//! host pool width and across runs. `tests/bench_gate.rs` and the CI
+//! `perf-gate` job enforce this against `benchmarks/baseline.json`.
+//! Across *machines* the floating-point quality values additionally
+//! depend on the host libm's last-ulp rounding of `powf`/`ln` (Zipf
+//! sampling, iteration schedules); if a runner-image upgrade ever shifts
+//! those, the gate fails loudly and the fix is a baseline refresh.
+
+use crate::schema::{BenchReport, ModelCosts, Quality, WorkloadReport, SCHEMA_VERSION};
+use crate::table::{f, Table};
+use mwvc_baselines::{bar_yehuda_even, greedy_ratio_cover, lp_optimum};
+use mwvc_core::mpc::{recommended_cluster, run_distributed, MpcMwvcConfig};
+use mwvc_graph::{EdgeIndex, GraphPreset, WeightModel, WeightedGraph};
+use std::time::Instant;
+
+/// Base seed of the matrix; per-workload seeds are derived from it and
+/// the workload id, so adding a workload never reshuffles the others.
+pub const BENCH_BASE_SEED: u64 = 0xbe_ec4;
+
+/// Average degree of every workload instance.
+const AVG_DEGREE: usize = 16;
+
+/// Which slice of the matrix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSuite {
+    /// One size tier — the CI perf gate (`experiments bench --quick`).
+    Quick,
+    /// All size tiers.
+    Full,
+}
+
+impl BenchSuite {
+    /// Label recorded in the report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchSuite::Quick => "quick",
+            BenchSuite::Full => "full",
+        }
+    }
+
+    /// Instance size tiers of the suite.
+    pub fn tiers(&self) -> &'static [usize] {
+        match self {
+            BenchSuite::Quick => &[1024],
+            BenchSuite::Full => &[1024, 4096],
+        }
+    }
+}
+
+/// One cell of the workload matrix.
+#[derive(Debug, Clone)]
+pub struct BenchWorkload {
+    /// Stable id: `{family}-{weights}-{eps}-n{tier}`.
+    pub id: String,
+    /// Graph family preset.
+    pub preset: GraphPreset,
+    /// Weight-model label (part of the id).
+    pub weights_label: &'static str,
+    /// Weight model.
+    pub weights: WeightModel,
+    /// Accuracy parameter.
+    pub epsilon: f64,
+    /// Size tier the workload belongs to.
+    pub tier_n: usize,
+}
+
+impl BenchWorkload {
+    /// The instance key: workloads sharing it run on the *same* weighted
+    /// graph (ε varies only the algorithm, not the input).
+    pub fn instance_key(&self) -> String {
+        format!(
+            "{}-{}-n{}",
+            self.preset.family(),
+            self.weights_label,
+            self.tier_n
+        )
+    }
+}
+
+/// The weight-model axis.
+fn weight_axis() -> Vec<(&'static str, WeightModel)> {
+    vec![
+        ("uniform", WeightModel::Uniform { lo: 1.0, hi: 10.0 }),
+        (
+            "zipf",
+            WeightModel::Zipf {
+                exponent: 1.2,
+                scale: 100.0,
+            },
+        ),
+    ]
+}
+
+/// The ε axis: the loose/cheap end and the tight/expensive end.
+const EPS_AXIS: [(&str, f64); 2] = [("eps4", 0.25), ("eps16", 0.0625)];
+
+/// The full workload matrix of a suite, in stable order: tiers, then
+/// families, then weights, then ε.
+pub fn workload_matrix(suite: BenchSuite) -> Vec<BenchWorkload> {
+    let mut out = Vec::new();
+    for &n in suite.tiers() {
+        for preset in GraphPreset::standard_families(n, AVG_DEGREE) {
+            for (weights_label, weights) in weight_axis() {
+                for (eps_label, epsilon) in EPS_AXIS {
+                    out.push(BenchWorkload {
+                        id: format!("{}-{weights_label}-{eps_label}-n{n}", preset.family()),
+                        preset,
+                        weights_label,
+                        weights,
+                        epsilon,
+                        tier_n: n,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a of a string — stable seed derivation from workload ids.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A built instance with its ε-independent reference quantities, shared
+/// by all workloads with the same [`BenchWorkload::instance_key`].
+pub struct InstanceContext {
+    /// The weighted instance.
+    pub wg: WeightedGraph,
+    /// Edge index of the instance.
+    pub eidx: EdgeIndex,
+    /// Exact LP relaxation optimum.
+    pub lp_bound: f64,
+    /// Greedy baseline cover weight.
+    pub greedy_weight: f64,
+    /// Bar-Yehuda–Even baseline cover weight.
+    pub bye_weight: f64,
+}
+
+/// Builds the instance (graph, weights, LP bound, baselines) of a
+/// workload. Deterministic in the workload's instance key.
+pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
+    let key = w.instance_key();
+    let graph_seed = BENCH_BASE_SEED ^ fnv1a(&key);
+    let g = w.preset.build(graph_seed);
+    let weights = w.weights.sample(&g, graph_seed ^ 0x5eed_0001);
+    let wg = WeightedGraph::new(g, weights);
+    let eidx = EdgeIndex::build(&wg.graph);
+    let lp_bound = lp_optimum(&wg).value;
+    let greedy_weight = greedy_ratio_cover(&wg).weight(&wg);
+    let bye = bar_yehuda_even(&wg);
+    let bye_weight = bye.cover.weight(&wg);
+    InstanceContext {
+        wg,
+        eidx,
+        lp_bound,
+        greedy_weight,
+        bye_weight,
+    }
+}
+
+/// Runs one workload on a prebuilt instance.
+pub fn run_on_instance(w: &BenchWorkload, ctx: &InstanceContext) -> WorkloadReport {
+    let algo_seed = BENCH_BASE_SEED ^ fnv1a(&w.id);
+    let cfg = MpcMwvcConfig::practical(w.epsilon, algo_seed);
+    let cluster = recommended_cluster(&ctx.wg, &cfg);
+    let start = Instant::now();
+    let outcome = run_distributed(&ctx.wg, &cfg, cluster);
+    let wall_clock_s = start.elapsed().as_secs_f64();
+    outcome
+        .cover
+        .verify(&ctx.wg.graph)
+        .expect("pipeline must produce a valid cover");
+    let cost = outcome.cost_report(&cluster);
+    let traffic = cost.traffic.expect("distributed runs carry traffic");
+    let cover_weight = outcome.cover.weight(&ctx.wg);
+    let certified_ratio = outcome
+        .certificate
+        .certified_ratio(&ctx.wg, &ctx.eidx, cover_weight);
+    WorkloadReport {
+        id: w.id.clone(),
+        family: w.preset.family().to_string(),
+        weights: w.weights_label.to_string(),
+        epsilon: w.epsilon,
+        n: ctx.wg.num_vertices() as i64,
+        m: ctx.wg.num_edges() as i64,
+        model: ModelCosts {
+            phases: cost.phases as i64,
+            mpc_rounds: cost.mpc_rounds as i64,
+            machines: traffic.machines as i64,
+            memory_cap_words: traffic.memory_cap_words as i64,
+            total_message_words: traffic.total_message_words as i64,
+            peak_round_words: traffic.peak_round_words as i64,
+            peak_resident_words: traffic.peak_resident_words as i64,
+            violations: traffic.violations as i64,
+        },
+        quality: Quality {
+            cover_weight,
+            cover_size: outcome.cover.size() as i64,
+            certified_ratio,
+            lp_bound: ctx.lp_bound,
+            ratio_vs_lp: cover_weight / ctx.lp_bound,
+            greedy_weight: ctx.greedy_weight,
+            bye_weight: ctx.bye_weight,
+        },
+        wall_clock_s,
+    }
+}
+
+/// Builds and runs a single workload end to end (tests and spot checks;
+/// [`run_suite`] shares instances across ε instead).
+pub fn run_workload(w: &BenchWorkload) -> WorkloadReport {
+    run_on_instance(w, &build_instance(w))
+}
+
+/// Runs a full suite, returning the report and a human-readable table.
+pub fn run_suite(suite: BenchSuite) -> (BenchReport, Table) {
+    let matrix = workload_matrix(suite);
+    let mut table = Table::new(
+        format!(
+            "BENCH model costs & quality ({} suite, {} workloads, seed {BENCH_BASE_SEED:#x})",
+            suite.label(),
+            matrix.len()
+        ),
+        &[
+            "workload",
+            "n",
+            "m",
+            "phases",
+            "rounds",
+            "msg words",
+            "peak res",
+            "cover w",
+            "cert",
+            "w/LP*",
+            "wall s",
+        ],
+    );
+    let mut workloads = Vec::with_capacity(matrix.len());
+    let mut cached: Option<(String, InstanceContext)> = None;
+    for w in &matrix {
+        let key = w.instance_key();
+        // The matrix is ordered so equal instance keys are adjacent; a
+        // one-slot cache reuses the graph + LP bound across the ε axis.
+        if cached.as_ref().map(|(k, _)| k.as_str()) != Some(key.as_str()) {
+            eprintln!("[bench] building instance {key}...");
+            cached = Some((key, build_instance(w)));
+        }
+        let ctx = &cached.as_ref().unwrap().1;
+        let report = run_on_instance(w, ctx);
+        table.push(vec![
+            report.id.clone(),
+            report.n.to_string(),
+            report.m.to_string(),
+            report.model.phases.to_string(),
+            report.model.mpc_rounds.to_string(),
+            report.model.total_message_words.to_string(),
+            report.model.peak_resident_words.to_string(),
+            f(report.quality.cover_weight, 2),
+            f(report.quality.certified_ratio, 3),
+            f(report.quality.ratio_vs_lp, 3),
+            f(report.wall_clock_s, 3),
+        ]);
+        workloads.push(report);
+    }
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.label().to_string(),
+        seed: BENCH_BASE_SEED as i64,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |x| x.get()) as i64,
+        workloads,
+    };
+    (report, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_shape_and_unique_ids() {
+        let m = workload_matrix(BenchSuite::Quick);
+        // 5 families × 2 weight models × 2 ε × 1 tier.
+        assert_eq!(m.len(), 20);
+        let mut ids: Vec<&str> = m.iter().map(|w| w.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "workload ids must be unique");
+        assert!(m.iter().any(|w| w.id == "gnp-uniform-eps4-n1024"));
+        assert!(m.iter().any(|w| w.id == "bipartite-zipf-eps16-n1024"));
+    }
+
+    #[test]
+    fn full_matrix_doubles_quick() {
+        let q = workload_matrix(BenchSuite::Quick).len();
+        let f = workload_matrix(BenchSuite::Full).len();
+        assert_eq!(f, 2 * q);
+    }
+
+    #[test]
+    fn eps_axis_shares_the_instance() {
+        let m = workload_matrix(BenchSuite::Quick);
+        let a = m.iter().find(|w| w.id.contains("eps4")).unwrap();
+        let b = m
+            .iter()
+            .find(|w| w.id == a.id.replace("eps4", "eps16"))
+            .unwrap();
+        assert_eq!(a.instance_key(), b.instance_key());
+        assert_ne!(a.epsilon, b.epsilon);
+    }
+
+    #[test]
+    fn tiny_workload_runs_and_reports_consistently() {
+        // A miniature out-of-matrix workload keeps this test fast while
+        // exercising the whole reporting path.
+        let w = BenchWorkload {
+            id: "gnm-uniform-eps16-n256-test".into(),
+            preset: GraphPreset::Gnm {
+                n: 256,
+                avg_degree: 16,
+            },
+            weights_label: "uniform",
+            weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
+            epsilon: 0.0625,
+            tier_n: 256,
+        };
+        let r = run_workload(&w);
+        assert_eq!(r.n, 256);
+        assert_eq!(r.m, 2048);
+        assert_eq!(r.model.violations, 0);
+        assert!(r.model.mpc_rounds >= 6, "at least the closing rounds");
+        assert!(r.model.total_message_words > 0);
+        assert!(r.quality.lp_bound > 0.0);
+        assert!(r.quality.cover_weight >= r.quality.lp_bound - 1e-9);
+        assert!(r.quality.ratio_vs_lp >= 1.0 - 1e-9);
+        assert!(r.quality.certified_ratio >= 1.0 - 1e-9);
+        // Model costs and quality are reproducible bit-for-bit.
+        let r2 = run_workload(&w);
+        assert_eq!(r.model, r2.model);
+        assert_eq!(r.quality, r2.quality);
+    }
+}

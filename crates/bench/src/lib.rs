@@ -13,8 +13,19 @@
 //! or a single one with e.g. `-- e01`. Each experiment prints an aligned
 //! text table (and can emit CSV) whose shape mirrors the claim being
 //! tested.
+//!
+//! Besides the per-claim experiments, this crate hosts the repo's
+//! canonical perf instrument: `experiments bench` drives the workload
+//! matrix of [`harness`] through the audited distributed executor and
+//! writes a schema-versioned `BENCH_core.json` ([`schema`]); the
+//! `bench-diff` binary ([`diff`]) compares two such files and is what the
+//! CI `perf-gate` job runs against `benchmarks/baseline.json`.
 
+pub mod diff;
 pub mod experiments;
+pub mod harness;
+pub mod json;
+pub mod schema;
 pub mod table;
 pub mod workloads;
 

@@ -47,8 +47,8 @@ impl CentralizedParams {
     /// Standard parameters for a given epsilon.
     pub fn new(epsilon: f64) -> Self {
         assert!(
-            epsilon > 0.0 && epsilon < 0.25,
-            "epsilon must lie in (0, 1/4), got {epsilon}"
+            epsilon > 0.0 && epsilon <= 0.25,
+            "epsilon must lie in (0, 1/4], got {epsilon}"
         );
         Self {
             epsilon,

@@ -134,7 +134,12 @@ impl PhaseSwitch {
 /// Full configuration of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MpcMwvcConfig {
-    /// Accuracy parameter `ε ∈ (0, 1/4)`; the cover is `(2+30ε)`-approximate.
+    /// Accuracy parameter `ε ∈ (0, 1/4]`; the cover is `(2+30ε)`-approximate
+    /// for `ε < 1/4`. The boundary value `ε = 1/4` is admitted for
+    /// benchmarking the cheap-and-loose end of the accuracy spectrum: the
+    /// algorithm and its certificate machinery stay sound there (every
+    /// certified ratio is still a true a-posteriori bound), only the
+    /// paper's a-priori constant is quoted for the open interval.
     pub epsilon: f64,
     /// Seed for all randomness (partitions, thresholds).
     pub seed: u64,
@@ -243,8 +248,8 @@ impl MpcMwvcConfig {
     /// Validates parameter ranges.
     pub fn validate(&self) {
         assert!(
-            self.epsilon > 0.0 && self.epsilon < 0.25,
-            "epsilon must lie in (0, 1/4)"
+            self.epsilon > 0.0 && self.epsilon <= 0.25,
+            "epsilon must lie in (0, 1/4]"
         );
         assert!((0.0..=1.0).contains(&self.high_degree_exponent));
         assert!((0.0..=1.0).contains(&self.machine_exponent));
@@ -357,6 +362,8 @@ mod tests {
         MpcMwvcConfig::paper(0.1, 0).validate();
         MpcMwvcConfig::practical(0.05, 1).validate();
         MpcMwvcConfig::paper_scaled(0.1, 2).validate();
+        // The benchmark matrix's loose end: ε = 1/4 is the admitted boundary.
+        MpcMwvcConfig::practical(0.25, 3).validate();
     }
 
     #[test]

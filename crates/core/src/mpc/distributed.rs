@@ -299,6 +299,14 @@ pub struct DistributedOutcome {
     pub trace: ExecutionTrace,
 }
 
+impl DistributedOutcome {
+    /// The structured model-cost report of this run, measured by the
+    /// router of `cluster` (the config the run executed on).
+    pub fn cost_report(&self, cluster: &MpcConfig) -> crate::mpc::stats::CostReport {
+        crate::mpc::stats::CostReport::from_trace(self.phases, &self.trace, cluster)
+    }
+}
+
 /// A cluster sizing that keeps the dataflow within the near-linear-memory
 /// model for this instance and configuration: `S = Θ(n)` words plus
 /// headroom for the final gathered instance, and enough machines both to
@@ -1101,7 +1109,8 @@ mod tests {
     fn round_count_matches_cost_model() {
         let wg = instance(500, 8_000, 13);
         let cfg = MpcMwvcConfig::practical(EPS, 29);
-        let dist = run_distributed(&wg, &cfg, recommended_cluster(&wg, &cfg));
+        let cluster = recommended_cluster(&wg, &cfg);
+        let dist = run_distributed(&wg, &cfg, cluster);
         assert_eq!(
             dist.trace.num_rounds(),
             dist.phases * round_cost::PER_PHASE + round_cost::FINAL,
@@ -1109,6 +1118,15 @@ mod tests {
             dist.phases
         );
         assert!(dist.phases >= 1);
+        // The structured report agrees with the raw trace and cluster.
+        let report = dist.cost_report(&cluster);
+        assert_eq!(report.phases, dist.phases);
+        assert_eq!(report.mpc_rounds, dist.trace.num_rounds());
+        let t = report.traffic.expect("distributed runs carry traffic");
+        assert_eq!(t.total_message_words, dist.trace.total_traffic());
+        assert_eq!(t.peak_resident_words, dist.trace.peak_resident());
+        assert_eq!(t.machines, cluster.num_machines);
+        assert_eq!(t.violations, 0);
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub use config::{BiasParams, IterationSchedule, MpcMwvcConfig, PhaseSwitch};
 pub use coupling::{run_coupled, CouplingReport, IterationDeviation};
 pub use distributed::{recommended_cluster, run_distributed, DistributedOutcome};
 pub use reference::{run_reference, run_reference_observed, PhaseObserver, PhaseSnapshot};
-pub use stats::{FinalPhaseStats, MpcRunResult, PhaseStats};
+pub use stats::{CostReport, FinalPhaseStats, MpcRunResult, PhaseStats, TrafficCosts};

@@ -1,6 +1,7 @@
 //! Execution statistics of an Algorithm 2 run — the raw material of
 //! experiments E01, E04 and E05.
 
+use mpc_sim::MpcConfig;
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one phase of Algorithm 2.
@@ -68,6 +69,64 @@ pub mod round_cost {
     pub const FINAL: usize = 6;
 }
 
+/// The measured communication-side costs of an executed run, as charged
+/// by the MPC model. Only the message-passing executor produces these;
+/// the reference executor computes the same algorithm without a router,
+/// so its [`CostReport`] carries `traffic: None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCosts {
+    /// Machines in the executing cluster.
+    pub machines: usize,
+    /// Per-machine word budget `S` of the cluster.
+    pub memory_cap_words: usize,
+    /// Total words moved across the network over the whole run.
+    pub total_message_words: usize,
+    /// Largest per-machine per-round communication (send or receive side).
+    pub peak_round_words: usize,
+    /// Largest per-machine resident memory observed in any round.
+    pub peak_resident_words: usize,
+    /// Recorded model-constraint breaches (zero under strict enforcement).
+    pub violations: usize,
+}
+
+/// The structured model-cost report of an Algorithm 2 execution: every
+/// quantity the paper's cost model charges for, in one serializable
+/// value. This is what the benchmark harness records and the perf gate
+/// compares bit-for-bit — none of these fields may depend on host
+/// threading or wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Compression phases executed (the `O(log log n · log(1/ε))` headline
+    /// quantity).
+    pub phases: usize,
+    /// MPC communication rounds. For the distributed executor this is the
+    /// trace's actual round count; for the reference executor it is the
+    /// [`round_cost`] model applied to the phase count.
+    pub mpc_rounds: usize,
+    /// Router-measured traffic and memory, when the run went through the
+    /// audited cluster.
+    pub traffic: Option<TrafficCosts>,
+}
+
+impl CostReport {
+    /// Builds a report from an executed cluster trace.
+    pub fn from_trace(phases: usize, trace: &mpc_sim::ExecutionTrace, cluster: &MpcConfig) -> Self {
+        let s = trace.summary();
+        CostReport {
+            phases,
+            mpc_rounds: s.rounds,
+            traffic: Some(TrafficCosts {
+                machines: cluster.num_machines,
+                memory_cap_words: cluster.memory_words,
+                total_message_words: s.total_message_words,
+                peak_round_words: s.peak_round_words,
+                peak_resident_words: s.peak_resident_words,
+                violations: s.violations,
+            }),
+        }
+    }
+}
+
 /// Full result of an Algorithm 2 run.
 #[derive(Debug, Clone)]
 pub struct MpcRunResult {
@@ -97,6 +156,17 @@ impl MpcRunResult {
     /// run whether or not a residual instance was left to solve).
     pub fn mpc_rounds(&self) -> usize {
         self.phases.len() * round_cost::PER_PHASE + round_cost::FINAL
+    }
+
+    /// The structured model-cost report of this run. The reference
+    /// executor routes no messages, so `traffic` is `None`; rounds come
+    /// from the [`round_cost`] model.
+    pub fn cost_report(&self) -> CostReport {
+        CostReport {
+            phases: self.num_phases(),
+            mpc_rounds: self.mpc_rounds(),
+            traffic: None,
+        }
     }
 
     /// The Lemma 4.1 headline: the per-machine induced subgraph size,
@@ -131,6 +201,31 @@ mod tests {
             nonfrozen_edges_before: 600,
             nonfrozen_edges_after: 200,
         }
+    }
+
+    #[test]
+    fn cost_report_from_trace_mirrors_summary() {
+        let trace = mpc_sim::ExecutionTrace {
+            rounds: vec![mpc_sim::RoundStats {
+                label: "r".to_string(),
+                max_sent: 7,
+                max_received: 9,
+                max_resident: 40,
+                total_traffic: 16,
+            }],
+            violations: vec![],
+        };
+        let cluster = MpcConfig::new(4, 1024);
+        let report = CostReport::from_trace(3, &trace, &cluster);
+        assert_eq!(report.phases, 3);
+        assert_eq!(report.mpc_rounds, 1);
+        let t = report.traffic.expect("distributed runs carry traffic");
+        assert_eq!(t.machines, 4);
+        assert_eq!(t.memory_cap_words, 1024);
+        assert_eq!(t.total_message_words, 16);
+        assert_eq!(t.peak_round_words, 9);
+        assert_eq!(t.peak_resident_words, 40);
+        assert_eq!(t.violations, 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl ThresholdScheme {
     /// `T_{v,t}` for the given epsilon, derived from
     /// `(seed, phase, vertex, iteration)`.
     pub fn threshold(&self, epsilon: f64, seed: u64, phase: u64, vertex: u32, t: u32) -> f64 {
-        debug_assert!(epsilon > 0.0 && epsilon < 0.25);
+        debug_assert!(epsilon > 0.0 && epsilon <= 0.25);
         match self {
             ThresholdScheme::UniformRandom => {
                 // Full-width composite key. An earlier revision packed

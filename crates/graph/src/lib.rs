@@ -11,6 +11,8 @@
 //! * [`generators`] — random graph families used as workloads (Erdős–Rényi,
 //!   Chung–Lu power law, R-MAT, random regular, grids, trees, planted
 //!   covers, …),
+//! * [`presets`] — named, size-scaled workload families on top of the
+//!   generators (the benchmark matrix's generator axis),
 //! * [`io`] — plain edge-list and DIMACS reading/writing,
 //! * [`subgraph`] / [`partition`] — induced subgraphs and random vertex
 //!   partitions (the core operation of MPC round compression),
@@ -25,6 +27,7 @@ pub mod edge_index;
 pub mod generators;
 pub mod io;
 pub mod partition;
+pub mod presets;
 pub mod stats;
 pub mod subgraph;
 pub mod validate;
@@ -34,6 +37,7 @@ pub use builder::GraphBuilder;
 pub use csr::{Edge, Graph, VertexId};
 pub use edge_index::{EdgeId, EdgeIndex};
 pub use partition::VertexPartition;
+pub use presets::GraphPreset;
 pub use subgraph::InducedSubgraph;
 pub use weights::{VertexWeights, WeightModel};
 

@@ -1,0 +1,184 @@
+//! Named workload presets over the [`generators`](crate::generators):
+//! each preset is a parameterized graph family scaled by a target vertex
+//! count and average degree, so that benchmark matrices can sweep
+//! families × sizes uniformly without re-deriving per-generator
+//! parameters at every call site.
+//!
+//! Every preset is deterministic given its seed (inherited from the
+//! underlying generator), and [`GraphPreset::family`] names are stable —
+//! they appear verbatim in `BENCH_core.json` workload ids, so renaming
+//! one is a schema-visible change.
+
+use crate::generators::{chung_lu, gnm, gnp, random_bipartite, rmat, RmatParams};
+use crate::Graph;
+
+/// A named, scaled graph family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphPreset {
+    /// Erdős–Rényi `G(n, p)` with `p = avg_degree / (n-1)`.
+    Gnp {
+        /// Vertices.
+        n: usize,
+        /// Target average degree.
+        avg_degree: f64,
+    },
+    /// Erdős–Rényi `G(n, m)` with exactly `n·avg_degree/2` edges.
+    Gnm {
+        /// Vertices.
+        n: usize,
+        /// Exact average degree (`n·avg_degree` must be even-friendly;
+        /// the edge count is floored).
+        avg_degree: usize,
+    },
+    /// Chung–Lu power law with exponent `beta` (degree skew `Δ ≫ d`).
+    ChungLu {
+        /// Vertices.
+        n: usize,
+        /// Power-law exponent.
+        beta: f64,
+        /// Target average degree.
+        avg_degree: f64,
+    },
+    /// R-MAT (Graph500-style recursive skew); `n = 2^scale`.
+    Rmat {
+        /// `log2` of the vertex count.
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: usize,
+    },
+    /// Random bipartite `G(n/2, n/2, p)` with `p` set for the target
+    /// average degree.
+    Bipartite {
+        /// Total vertices (split evenly between the sides).
+        n: usize,
+        /// Target average degree.
+        avg_degree: f64,
+    },
+}
+
+impl GraphPreset {
+    /// The five standard families at a given size tier, in stable order.
+    /// This is the generator axis of the benchmark workload matrix.
+    pub fn standard_families(n: usize, avg_degree: usize) -> Vec<GraphPreset> {
+        let d = avg_degree as f64;
+        vec![
+            GraphPreset::Gnp { n, avg_degree: d },
+            GraphPreset::Gnm { n, avg_degree },
+            GraphPreset::ChungLu {
+                n,
+                beta: 2.3,
+                avg_degree: d,
+            },
+            GraphPreset::Rmat {
+                scale: (n.max(2) as f64).log2().round() as u32,
+                edge_factor: avg_degree / 2,
+            },
+            GraphPreset::Bipartite { n, avg_degree: d },
+        ]
+    }
+
+    /// Stable family name (appears in benchmark workload ids).
+    pub fn family(&self) -> &'static str {
+        match self {
+            GraphPreset::Gnp { .. } => "gnp",
+            GraphPreset::Gnm { .. } => "gnm",
+            GraphPreset::ChungLu { .. } => "chung_lu",
+            GraphPreset::Rmat { .. } => "rmat",
+            GraphPreset::Bipartite { .. } => "bipartite",
+        }
+    }
+
+    /// Nominal vertex count of the preset (`2^scale` for R-MAT).
+    pub fn nominal_n(&self) -> usize {
+        match *self {
+            GraphPreset::Gnp { n, .. }
+            | GraphPreset::Gnm { n, .. }
+            | GraphPreset::ChungLu { n, .. }
+            | GraphPreset::Bipartite { n, .. } => n,
+            GraphPreset::Rmat { scale, .. } => 1usize << scale,
+        }
+    }
+
+    /// Builds the graph deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            GraphPreset::Gnp { n, avg_degree } => {
+                let p = if n > 1 {
+                    (avg_degree / (n - 1) as f64).min(1.0)
+                } else {
+                    0.0
+                };
+                gnp(n, p, seed)
+            }
+            GraphPreset::Gnm { n, avg_degree } => gnm(n, n * avg_degree / 2, seed),
+            GraphPreset::ChungLu {
+                n,
+                beta,
+                avg_degree,
+            } => chung_lu(n, beta, avg_degree, seed),
+            GraphPreset::Rmat { scale, edge_factor } => {
+                rmat(scale, edge_factor, RmatParams::default(), seed)
+            }
+            GraphPreset::Bipartite { n, avg_degree } => {
+                let left = n / 2;
+                let right = n - left;
+                let p = if left > 0 && right > 0 {
+                    (avg_degree * n as f64 / (2.0 * left as f64 * right as f64)).min(1.0)
+                } else {
+                    0.0
+                };
+                random_bipartite(left, right, p, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_families_are_five_and_stably_named() {
+        let fams = GraphPreset::standard_families(1024, 16);
+        let names: Vec<&str> = fams.iter().map(|p| p.family()).collect();
+        assert_eq!(names, ["gnp", "gnm", "chung_lu", "rmat", "bipartite"]);
+        for p in &fams {
+            assert_eq!(p.nominal_n(), 1024);
+        }
+    }
+
+    #[test]
+    fn presets_build_deterministically_near_target_degree() {
+        for preset in GraphPreset::standard_families(1024, 16) {
+            let a = preset.build(7);
+            let b = preset.build(7);
+            assert_eq!(a.num_edges(), b.num_edges(), "{}", preset.family());
+            let d = 2.0 * a.num_edges() as f64 / a.num_vertices().max(1) as f64;
+            assert!(
+                d > 4.0 && d < 32.0,
+                "{}: average degree {d} far from target 16",
+                preset.family()
+            );
+        }
+    }
+
+    #[test]
+    fn gnm_preset_hits_exact_edge_count() {
+        let g = GraphPreset::Gnm {
+            n: 500,
+            avg_degree: 16,
+        }
+        .build(3);
+        assert_eq!(g.num_edges(), 4000);
+    }
+
+    #[test]
+    fn rmat_nominal_n_is_power_of_scale() {
+        let p = GraphPreset::Rmat {
+            scale: 10,
+            edge_factor: 8,
+        };
+        assert_eq!(p.nominal_n(), 1024);
+        assert!(p.build(1).num_vertices() <= 1024);
+    }
+}

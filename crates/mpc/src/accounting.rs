@@ -53,10 +53,42 @@ pub struct ExecutionTrace {
     pub violations: Vec<Violation>,
 }
 
+/// A flat, serializable snapshot of everything the MPC model charges a
+/// finished execution for. This is the quantity the benchmark harness
+/// pins across PRs: every field is exactly derivable from the trace, and
+/// deterministic for a deterministic algorithm — host threading never
+/// shows up here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Communication rounds executed.
+    pub rounds: usize,
+    /// Total words moved across the network over the whole execution.
+    pub total_message_words: usize,
+    /// Largest per-machine per-round communication (send or receive side).
+    pub peak_round_words: usize,
+    /// Largest per-machine resident memory observed in any round.
+    pub peak_resident_words: usize,
+    /// Number of recorded model-constraint breaches (audit mode; zero
+    /// under strict enforcement, which panics instead).
+    pub violations: usize,
+}
+
 impl ExecutionTrace {
     /// Number of communication rounds executed.
     pub fn num_rounds(&self) -> usize {
         self.rounds.len()
+    }
+
+    /// Snapshots the model-cost totals of this trace (see
+    /// [`TraceSummary`]).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            rounds: self.num_rounds(),
+            total_message_words: self.total_traffic(),
+            peak_round_words: self.peak_traffic(),
+            peak_resident_words: self.peak_resident(),
+            violations: self.violations.len(),
+        }
     }
 
     /// Largest per-machine resident memory observed in any round.
@@ -125,6 +157,32 @@ mod tests {
         assert_eq!(t.peak_traffic(), 30);
         assert_eq!(t.total_traffic(), 100);
         assert!(t.is_clean());
+        assert_eq!(
+            t.summary(),
+            TraceSummary {
+                rounds: 2,
+                total_message_words: 100,
+                peak_round_words: 30,
+                peak_resident_words: 100,
+                violations: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn summary_counts_violations() {
+        let t = ExecutionTrace {
+            rounds: vec![stats("a", 9, 1, 1, 9)],
+            violations: vec![Violation {
+                round: 0,
+                machine: 1,
+                kind: ViolationKind::SentExceedsMemory,
+                words: 9,
+                cap: 5,
+            }],
+        };
+        assert_eq!(t.summary().violations, 1);
+        assert_eq!(t.summary().rounds, 1);
     }
 
     #[test]

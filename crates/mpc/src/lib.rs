@@ -39,7 +39,7 @@ pub mod rng;
 pub mod router;
 pub mod words;
 
-pub use accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
+pub use accounting::{ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind};
 pub use cluster::{Cluster, MachineCtx};
 pub use model::{Enforcement, MemoryRegime, MpcConfig};
 pub use words::Words;

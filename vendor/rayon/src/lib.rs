@@ -5,7 +5,7 @@
 //! This crate replaces the former sequential shim with a genuine
 //! multi-threaded pool built on `std::thread` + `std::sync`:
 //!
-//! * **Pool** ([`pool`]) — a persistent pool of `T` logical threads
+//! * **Pool** (`pool.rs`) — a persistent pool of `T` logical threads
 //!   (`T - 1` spawned workers plus the driving caller), each worker with
 //!   its own deque (own work popped LIFO from the back, stolen FIFO from
 //!   the front). Waiting threads help-execute queued jobs, so nested
@@ -13,7 +13,7 @@
 //!   [`ThreadPoolBuilder::num_threads`], else `RAYON_NUM_THREADS`, else
 //!   the hardware parallelism; `T = 1` executes strictly inline with no
 //!   worker threads.
-//! * **Fork–join** ([`scope`](mod@scope)) — [`join`] and
+//! * **Fork–join** (`scope.rs`) — [`join`] and
 //!   [`scope`]/[`Scope::spawn`] with panic propagation to the forking
 //!   caller.
 //! * **Parallel iterators** ([`iter`]) — indexed sources (slices, vecs,
