@@ -5,15 +5,19 @@
 //! experiments e01 e05               # run selected experiments
 //! experiments all --csv out/        # also write one CSV per table
 //! experiments scaling --threads 4   # pin the host pool width
+//! experiments rounds --executor roundcompress   # one executor's trajectory
+//! experiments compress              # executor head-to-head report
 //! experiments bench --quick         # benchmark matrix -> BENCH_core.json
 //! experiments bench --out B.json    # choose the output path
+//! experiments bench --quick --graph g.col       # add file workloads
 //! experiments --list                # enumerate experiments and workloads
 //! ```
 //!
 //! Exit codes: `0` on success, `2` on any usage error (unknown
 //! subcommand, unknown flag, missing flag argument).
 
-use mwvc_bench::harness::{self, BenchSuite};
+use mwvc_bench::experiments::ExpOptions;
+use mwvc_bench::harness::{self, BenchSuite, ExecutorKind};
 use mwvc_bench::{experiments, Table};
 use std::io::Write;
 use std::time::Instant;
@@ -26,6 +30,11 @@ struct Options {
     quick: bool,
     full: bool,
     out: Option<String>,
+    graph: Option<String>,
+    executor: Option<ExecutorKind>,
+    /// Whether `--executor` appeared at all (including `both`), so the
+    /// flag is rejected — never silently ignored — where inapplicable.
+    executor_set: bool,
     list: bool,
 }
 
@@ -62,6 +71,30 @@ fn main() {
                         .unwrap_or_else(|| usage("--out needs a file path"))
                         .clone(),
                 );
+            }
+            "--graph" => {
+                i += 1;
+                opt.graph = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--graph needs a file path"))
+                        .clone(),
+                );
+            }
+            "--executor" => {
+                i += 1;
+                opt.executor_set = true;
+                let name = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--executor needs a name"));
+                if name != "both" {
+                    opt.executor = Some(ExecutorKind::from_name(name).unwrap_or_else(|| {
+                        let known: Vec<&str> =
+                            ExecutorKind::all().iter().map(|k| k.label()).collect();
+                        usage(&format!(
+                            "unknown executor {name:?}; known: {known:?} or 'both'"
+                        ))
+                    }));
+                }
             }
             "--quick" => opt.quick = true,
             "--full" => opt.full = true,
@@ -112,7 +145,20 @@ fn run_bench(opt: &Options) {
     let out_path = opt.out.clone().unwrap_or_else(|| "BENCH_core.json".into());
     let start = Instant::now();
     eprintln!("[bench] running the {} suite...", suite.label());
-    let (report, table) = harness::run_suite(suite);
+    let mut matrix = harness::workload_matrix(suite);
+    if let Some(path) = &opt.graph {
+        matrix.extend(harness::file_workloads(path).unwrap_or_else(|e| usage(&e)));
+    }
+    if let Some(k) = opt.executor {
+        matrix.retain(|w| w.executor == k);
+        eprintln!(
+            "[bench] --executor {}: {} workload(s); note the report will not \
+             match a full-matrix baseline",
+            k.label(),
+            matrix.len()
+        );
+    }
+    let (report, table) = harness::run_workloads(suite.label(), matrix);
     emit_tables("bench", &[table], &opt.csv_dir);
     std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
@@ -125,10 +171,11 @@ fn run_bench(opt: &Options) {
     );
 }
 
-/// Classic experiment tables (`e01`..`e13`, `scaling`, `all`).
+/// Classic experiment tables (`e01`..`e13`, `scaling`, `rounds`,
+/// `compress`, `all`).
 fn run_tables(opt: &Options) {
-    if opt.quick || opt.full || opt.out.is_some() {
-        usage("--quick/--full/--out apply to the 'bench' subcommand only");
+    if opt.quick || opt.full || opt.out.is_some() || opt.graph.is_some() {
+        usage("--quick/--full/--out/--graph apply to the 'bench' subcommand only");
     }
     if opt.ids.is_empty() {
         usage("no experiments selected");
@@ -150,10 +197,18 @@ fn run_tables(opt: &Options) {
         .filter(|(id, _)| run_all || opt.ids.iter().any(|want| want == id))
         .collect();
 
+    // `--executor` only steers executor-selectable experiments; reject it
+    // elsewhere rather than silently ignoring it (mirrors --graph).
+    if opt.executor_set && !opt.ids.iter().any(|id| id == "rounds" || id == "all") {
+        usage("--executor applies to the 'rounds' and 'bench' subcommands only");
+    }
+    let exp_opts = ExpOptions {
+        executor: opt.executor,
+    };
     for (id, run) in selected {
         let start = Instant::now();
         eprintln!("[{id}] running...");
-        let tables = run();
+        let tables = run(&exp_opts);
         emit_tables(id, &tables, &opt.csv_dir);
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
         let _ = std::io::stdout().flush();
@@ -202,7 +257,13 @@ fn usage(err: &str) -> ! {
 }
 
 fn print_usage() {
-    eprintln!("usage: experiments <e01..e13 | scaling | all>... [--csv DIR] [--threads N]");
-    eprintln!("       experiments bench [--quick | --full] [--out PATH] [--threads N]");
+    eprintln!(
+        "usage: experiments <e01..e13 | scaling | rounds | compress | all>... \
+         [--csv DIR] [--threads N] [--executor NAME|both]"
+    );
+    eprintln!(
+        "       experiments bench [--quick | --full] [--out PATH] [--threads N] \
+         [--executor NAME|both] [--graph FILE]"
+    );
     eprintln!("       experiments --list");
 }

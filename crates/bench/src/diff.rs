@@ -80,6 +80,7 @@ impl DiffResult {
     }
 
     /// Human-readable rendering: verdict line, regression table (if any),
+    /// a matrix-mismatch summary when entries are missing on either side,
     /// and wall-clock notes.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -94,6 +95,21 @@ impl DiffResult {
                 self.findings.len(),
                 self.compared
             ));
+            // Per-entry findings only; the "<report>" zero-overlap
+            // pseudo-finding shares the field name but is not an entry.
+            let missing = self
+                .findings
+                .iter()
+                .filter(|f| f.field == "workload" && f.workload != "<report>")
+                .count();
+            if missing > 0 {
+                out.push_str(&format!(
+                    "error: {missing} workload/executor entr{} missing from one report — \
+                     the matrix changed (new executor, tier, or family?); regenerate and \
+                     commit the baseline to accept it\n",
+                    if missing == 1 { "y is" } else { "ies are" }
+                ));
+            }
             let mut t = Table::new(
                 "Gated differences vs baseline",
                 &["workload", "field", "baseline", "candidate", "verdict"],
@@ -226,17 +242,30 @@ pub fn diff_reports(
     let mut compared = 0usize;
     for b in &baseline.workloads {
         let Some(c) = candidate.workloads.iter().find(|c| c.id == b.id) else {
+            // An absent entry is never clean: when the matrix grows an
+            // axis (a new executor, tier, or family) the baseline must be
+            // regenerated, not silently partially compared.
             push(
                 &mut findings,
                 &b.id,
                 "workload",
-                "present",
-                "missing",
+                format!("present (executor {})", b.executor),
+                "missing from candidate",
                 FindingKind::Structural,
             );
             continue;
         };
         compared += 1;
+        if b.executor != c.executor {
+            push(
+                &mut findings,
+                &b.id,
+                "executor",
+                &b.executor,
+                &c.executor,
+                FindingKind::Structural,
+            );
+        }
         // Instance shape: if the built instance changed, every downstream
         // number is incomparable — report the cause, not just the symptoms.
         if b.n != c.n {
@@ -289,11 +318,21 @@ pub fn diff_reports(
                 &mut findings,
                 &c.id,
                 "workload",
-                "absent",
-                "new (baseline stale)",
+                "missing from baseline",
+                format!("present (executor {})", c.executor),
                 FindingKind::Structural,
             );
         }
+    }
+    if compared == 0 && (!baseline.workloads.is_empty() || !candidate.workloads.is_empty()) {
+        push(
+            &mut findings,
+            "<report>",
+            "workload",
+            format!("{} workloads", baseline.workloads.len()),
+            format!("{} workloads, zero overlap", candidate.workloads.len()),
+            FindingKind::Structural,
+        );
     }
 
     DiffResult {
@@ -326,11 +365,14 @@ mod tests {
         assert!(!d.is_clean());
         assert_eq!(d.findings.len(), 1);
         let f = &d.findings[0];
-        assert_eq!(f.workload, "rmat-zipf-eps16-n64");
+        assert_eq!(f.workload, "rmat-zipf-eps16-n64-roundcompress");
         assert_eq!(f.field, "model.mpc_rounds");
         assert_eq!(f.kind, FindingKind::Regression);
         let rendered = d.render();
-        assert!(rendered.contains("rmat-zipf-eps16-n64"), "{rendered}");
+        assert!(
+            rendered.contains("rmat-zipf-eps16-n64-roundcompress"),
+            "{rendered}"
+        );
         assert!(rendered.contains("REGRESSED"), "{rendered}");
     }
 
@@ -368,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    fn missing_and_new_workloads_are_structural() {
+    fn missing_and_new_workloads_are_structural_and_named_clearly() {
         let base = synthetic_report();
         let mut cand = base.clone();
         let mut extra = cand.workloads[0].clone();
@@ -379,6 +421,70 @@ mod tests {
         assert_eq!(d.findings.len(), 2);
         assert!(d.findings.iter().all(|f| f.kind == FindingKind::Structural));
         assert_eq!(d.compared, 1);
+        // Both directions are reported as a missing workload/executor
+        // entry, and the rendering carries the matrix-mismatch error line.
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.candidate == "missing from candidate"));
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.baseline == "missing from baseline"));
+        let rendered = d.render();
+        assert!(
+            rendered.contains("entries are missing from one report"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("regenerate"), "{rendered}");
+    }
+
+    #[test]
+    fn grown_executor_axis_is_reported_not_treated_as_clean() {
+        // The matrix-growth scenario the gate must catch: the candidate
+        // grew a second executor per workload but the baseline predates
+        // the axis. Every new entry is flagged; exit would be nonzero.
+        let base = synthetic_report();
+        let mut cand = base.clone();
+        for w in base.workloads.iter() {
+            let mut rc = w.clone();
+            rc.id = format!("{}-other", w.id);
+            rc.executor = "otherexec".into();
+            cand.workloads.push(rc);
+        }
+        let d = diff_reports(&base, &cand, DiffOptions::default());
+        assert!(!d.is_clean(), "grown matrix must not pass silently");
+        assert_eq!(d.findings.len(), 2);
+        for f in &d.findings {
+            assert_eq!(f.kind, FindingKind::Structural);
+            assert!(f.candidate.contains("executor otherexec"), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn executor_rename_on_same_id_is_structural() {
+        let base = synthetic_report();
+        let mut cand = base.clone();
+        cand.workloads[0].executor = "renamed".into();
+        let d = diff_reports(&base, &cand, DiffOptions::default());
+        assert_eq!(d.findings.len(), 1);
+        assert_eq!(d.findings[0].field, "executor");
+        assert_eq!(d.findings[0].kind, FindingKind::Structural);
+    }
+
+    #[test]
+    fn zero_overlap_is_flagged_at_report_level() {
+        let base = synthetic_report();
+        let mut cand = base.clone();
+        for w in &mut cand.workloads {
+            w.id = format!("disjoint-{}", w.id);
+        }
+        let d = diff_reports(&base, &cand, DiffOptions::default());
+        assert_eq!(d.compared, 0);
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.workload == "<report>" && f.candidate.contains("zero overlap")));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! `compress` — the round-compression head-to-head: both executors on
+//! every quick-suite workload instance, side by side.
+//!
+//! This is the experiment the round-compression subsystem exists for: it
+//! shows, workload by workload, where the Assadi-style executor wins or
+//! loses on MPC rounds against the Ghaffari–Jin–Nilis baseline, at what
+//! traffic cost, and with what certified quality. It re-runs the quick
+//! matrix through [`crate::harness::run_workloads`] (deterministic and
+//! sub-second at the quick tier, so a standalone report needs no input
+//! file) — byte-for-byte the numbers `BENCH_core.json` gates per
+//! executor — and joins the rows by base workload.
+
+use super::ExpOptions;
+use crate::harness::{run_workloads, workload_matrix, BenchSuite, ExecutorKind};
+use crate::schema::WorkloadReport;
+use crate::table::{f, Table};
+
+/// Strips the `-{executor}` suffix off a workload id.
+fn base_id(r: &WorkloadReport) -> String {
+    r.id.strip_suffix(&format!("-{}", r.executor))
+        .unwrap_or(&r.id)
+        .to_string()
+}
+
+/// Runs the head-to-head over the quick matrix. A head-to-head needs
+/// both sides, so there is no executor filter here (the CLI rejects
+/// `--executor` for this experiment; it applies to `rounds` and `bench`).
+pub fn compress(_opts: &ExpOptions) -> Vec<Table> {
+    let (report, _bench_table) = run_workloads("quick", workload_matrix(BenchSuite::Quick));
+
+    // Join rows on the base workload id, preserving matrix order. Any
+    // executor beyond the compared pair is tolerated (and ignored here),
+    // so growing `ExecutorKind` never breaks this report.
+    let mut order: Vec<String> = Vec::new();
+    let mut by_base: std::collections::HashMap<String, Vec<&WorkloadReport>> =
+        std::collections::HashMap::new();
+    for r in &report.workloads {
+        let base = base_id(r);
+        let entry = by_base.entry(base.clone()).or_default();
+        if entry.is_empty() {
+            order.push(base);
+        }
+        entry.push(r);
+    }
+
+    let dist = ExecutorKind::Distributed.label();
+    let rc = ExecutorKind::RoundCompress.label();
+    let mut head = Table::new(
+        "COMPRESS head-to-head: distributed (GJN Alg. 2) vs roundcompress (Assadi-style), quick matrix",
+        &[
+            "workload",
+            "n",
+            "m",
+            "phases d",
+            "lvls rc",
+            "rounds d",
+            "rounds rc",
+            "Δrounds",
+            "msg wd d",
+            "msg wd rc",
+            "cert d",
+            "cert rc",
+            "w/LP* d",
+            "w/LP* rc",
+        ],
+    );
+    let mut rc_round_wins = 0usize;
+    let mut ties = 0usize;
+    let mut pairs = 0usize;
+    let (mut rounds_d_total, mut rounds_rc_total) = (0i64, 0i64);
+    let (mut words_d_total, mut words_rc_total) = (0i64, 0i64);
+    for base in &order {
+        let rows = &by_base[base];
+        let find = |name: &str| rows.iter().find(|r| r.executor == name);
+        let (Some(d), Some(r)) = (find(dist), find(rc)) else {
+            eprintln!("[compress] {base}: missing one side, skipping");
+            continue;
+        };
+        pairs += 1;
+        let delta = r.model.mpc_rounds - d.model.mpc_rounds;
+        if delta < 0 {
+            rc_round_wins += 1;
+        } else if delta == 0 {
+            ties += 1;
+        }
+        rounds_d_total += d.model.mpc_rounds;
+        rounds_rc_total += r.model.mpc_rounds;
+        words_d_total += d.model.total_message_words;
+        words_rc_total += r.model.total_message_words;
+        head.push(vec![
+            base.clone(),
+            d.n.to_string(),
+            d.m.to_string(),
+            d.model.phases.to_string(),
+            r.model.phases.to_string(),
+            d.model.mpc_rounds.to_string(),
+            r.model.mpc_rounds.to_string(),
+            format!("{delta:+}"),
+            d.model.total_message_words.to_string(),
+            r.model.total_message_words.to_string(),
+            f(d.quality.certified_ratio, 3),
+            f(r.quality.certified_ratio, 3),
+            f(d.quality.ratio_vs_lp, 3),
+            f(r.quality.ratio_vs_lp, 3),
+        ]);
+    }
+
+    let mut summary = Table::new(
+        "COMPRESS summary (rounds: lower is better; a win = strictly fewer rounds)",
+        &[
+            "workloads",
+            "rc round wins",
+            "ties",
+            "dist round wins",
+            "Σ rounds dist",
+            "Σ rounds rc",
+            "Σ msg words dist",
+            "Σ msg words rc",
+        ],
+    );
+    summary.push(vec![
+        pairs.to_string(),
+        rc_round_wins.to_string(),
+        ties.to_string(),
+        (pairs - rc_round_wins - ties).to_string(),
+        rounds_d_total.to_string(),
+        rounds_rc_total.to_string(),
+        words_d_total.to_string(),
+        words_rc_total.to_string(),
+    ]);
+    vec![head, summary]
+}

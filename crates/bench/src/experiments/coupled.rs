@@ -1,6 +1,7 @@
 //! Coupled-run experiments: E06 (Lemma 4.6 deviations), E07 (Lemma 4.8
 //! bad vertices), E12 (random-threshold ablation), E13 (bias ablation).
 
+use super::ExpOptions;
 use crate::table::{f, Table};
 use crate::workloads::er_instance;
 use mwvc_core::mpc::{run_coupled, run_reference, BiasParams, MpcMwvcConfig};
@@ -17,7 +18,7 @@ fn instance(n: usize, d: usize, seed: u64) -> mwvc_graph::WeightedGraph {
 /// (sampling `d(v)/m` of `d(v)` incident edges at `m = √d`), so the
 /// measured deviations should track `d^{-1/4}` downward toward the `6ε`
 /// regime.
-pub fn e06_deviations() -> Vec<Table> {
+pub fn e06_deviations(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut t = Table::new(
         "E06 Estimate deviations vs density (phase 0, eps=0.1; Lemma 4.6 predicts <= 6 eps asymptotically)",
@@ -56,7 +57,7 @@ pub fn e06_deviations() -> Vec<Table> {
 /// E07 — Lemma 4.8: the fraction of vertices that resolve differently in
 /// the coupled runs ("bad" vertices), per iteration and cumulatively,
 /// across densities.
-pub fn e07_bad_vertices() -> Vec<Table> {
+pub fn e07_bad_vertices(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut summary = Table::new(
         "E07a Bad vertices vs density (phase 0)",
@@ -106,7 +107,7 @@ pub fn e07_bad_vertices() -> Vec<Table> {
 ///   concentrate the divergences at the crossing iterations, random ones
 ///   spread them across the window — the independence structure
 ///   Lemma 4.13's recursion needs.
-pub fn e12_threshold_ablation() -> Vec<Table> {
+pub fn e12_threshold_ablation(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut generic = Table::new(
         "E12a Random vs fixed thresholds, generic instances (n=4096, eps=0.1)",
@@ -188,7 +189,7 @@ pub fn e12_threshold_ablation() -> Vec<Table> {
 /// E13 — the one-sided bias term (Section 3.2 "Other changes"): without
 /// it the local estimate errs on both sides of the truth; with it the
 /// "late-bad" side nearly disappears, at a small cover-weight premium.
-pub fn e13_bias_ablation() -> Vec<Table> {
+pub fn e13_bias_ablation(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let wg = instance(4096, 256, 91);
     let lp = mwvc_baselines::lp_optimum(&wg).value;

@@ -1,6 +1,7 @@
 //! MPC model accounting experiments: E04 (Lemma 4.1), E05 (Lemma 4.4),
 //! E11 (Section 1.1 memory regimes, total memory, congested clique).
 
+use super::ExpOptions;
 use crate::table::{f, Table};
 use crate::workloads::er_instance;
 use mpc_sim::congested_clique::simulate_on_clique;
@@ -10,7 +11,7 @@ use mwvc_graph::WeightModel;
 
 /// E04 — Lemma 4.1: the largest per-machine induced subgraph stays
 /// `O(n)` edges across sizes and phases.
-pub fn e04_machine_memory() -> Vec<Table> {
+pub fn e04_machine_memory(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let d = 256;
     let mut t = Table::new(
@@ -45,7 +46,7 @@ pub fn e04_machine_memory() -> Vec<Table> {
 
 /// E05 — Lemma 4.4: nonfrozen edges after each phase stay below
 /// `2·n·d·(1-ε)^I`.
-pub fn e05_edge_shrink() -> Vec<Table> {
+pub fn e05_edge_shrink(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let n = 1 << 14;
     let wg = crate::workloads::power_law_instance(
@@ -88,7 +89,7 @@ pub fn e05_edge_shrink() -> Vec<Table> {
 /// memory words, peak resident, peak per-round traffic, violations, and
 /// the congested-clique translation of the trace (the paper's Section 1.3
 /// corollary via `[BDH18]`).
-pub fn e11_model_audit() -> Vec<Table> {
+pub fn e11_model_audit(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut t = Table::new(
         "E11 Distributed execution audit (d=32, practical profile)",

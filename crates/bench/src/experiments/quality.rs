@@ -1,6 +1,7 @@
 //! Approximation-quality experiments: E03 (Prop 3.3 / Thm 4.7), E08 (the
 //! Section 1.2 positioning table), E10 (weight-model robustness).
 
+use super::ExpOptions;
 use crate::table::{f, Table};
 use crate::workloads::{
     er_instance, planted_instance, power_law_instance, rmat_instance, weight_models,
@@ -13,7 +14,7 @@ use mwvc_graph::{EdgeIndex, WeightModel, WeightedGraph};
 /// E03 — Proposition 3.3 (centralized `2+10ε`) and Theorem 4.7 (MPC
 /// `2+30ε`): measured ratios against the exact optimum (small instances)
 /// and the exact LP bound (large instances), across `ε`.
-pub fn e03_approx_ratio() -> Vec<Table> {
+pub fn e03_approx_ratio(_opts: &ExpOptions) -> Vec<Table> {
     let mut small = Table::new(
         "E03a Approximation ratio vs exact OPT (n=48, G(n,p), 5-seed mean)",
         &[
@@ -67,7 +68,7 @@ pub fn e03_approx_ratio() -> Vec<Table> {
 /// E08 — the positioning table: every algorithm in the workspace on a
 /// suite of instance families, with weights, LP-certified ratios, and MPC
 /// round counts where applicable.
-pub fn e08_algorithm_comparison() -> Vec<Table> {
+pub fn e08_algorithm_comparison(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let uniform = WeightModel::Uniform { lo: 1.0, hi: 10.0 };
     let zipf = WeightModel::Zipf {
@@ -144,7 +145,7 @@ pub fn e08_algorithm_comparison() -> Vec<Table> {
 /// E10 — Theorem 4.7 robustness across weight models: the certified
 /// ratio must stay within `2+30ε` regardless of how weights correlate
 /// with degrees.
-pub fn e10_weight_robustness() -> Vec<Table> {
+pub fn e10_weight_robustness(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut t = Table::new(
         "E10 Weight-model robustness (n=4096, d=64, practical profile, eps=0.1)",

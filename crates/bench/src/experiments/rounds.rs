@@ -1,12 +1,18 @@
 //! Round-complexity experiments: E01 (Theorem 1.1/4.5), E02
 //! (Proposition 3.4), E09 (the Section 3.2 initialization comparison).
 
+use super::ExpOptions;
+use crate::harness::ExecutorKind;
 use crate::table::{f, Table};
 use crate::workloads::{er_instance, power_law_instance, skewed_instance};
 use mwvc_baselines::local_baseline;
 use mwvc_core::mpc::{run_reference, MpcMwvcConfig};
 use mwvc_core::{run_centralized, CentralizedParams, InitScheme, ThresholdScheme};
 use mwvc_graph::{WeightModel, WeightedGraph};
+use mwvc_roundcompress::{
+    recommended_cluster as rc_cluster, round_cost as rc_round_cost, run_roundcompress,
+    RoundCompressConfig,
+};
 
 /// E01 — Theorem 1.1/4.5: MPC rounds grow like `O(log log d)`.
 ///
@@ -17,7 +23,7 @@ use mwvc_graph::{WeightModel, WeightedGraph};
 /// rounds for Algorithm 2 under the `paper_scaled` profile, against the
 /// LOCAL baseline: phases-per-`log log d` should stay near-constant while
 /// baseline-rounds-per-`log d` does the same.
-pub fn e01_rounds_vs_degree() -> Vec<Table> {
+pub fn e01_rounds_vs_degree(_opts: &ExpOptions) -> Vec<Table> {
     let n = 1 << 14;
     let weights = WeightModel::Uniform { lo: 1.0, hi: 10.0 };
     let mut table = Table::new(
@@ -70,7 +76,7 @@ pub fn e01_rounds_vs_degree() -> Vec<Table> {
 /// centralized algorithm runs `O(log Δ)` iterations, independent of the
 /// weight scale; the uniform `1/n` initialization degrades with the
 /// weight spread `W`.
-pub fn e02_centralized_iterations() -> Vec<Table> {
+pub fn e02_centralized_iterations(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut by_delta = Table::new(
         "E02a Centralized iterations vs max degree (w/d init, weights U[1,1e6])",
@@ -142,10 +148,109 @@ pub fn e02_centralized_iterations() -> Vec<Table> {
     vec![by_delta, by_scale]
 }
 
+/// `rounds` — per-executor round trajectories: how the active-edge count
+/// falls phase by phase (distributed executor, via its bit-identical
+/// reference schedule which exposes per-phase stats) and level by level
+/// (roundcompress executor), with cumulative MPC rounds after each step.
+/// `--executor <name>` restricts the sweep to one executor; the default
+/// covers both, so old and new trajectories plot from one table.
+pub fn rounds_trajectory(opts: &ExpOptions) -> Vec<Table> {
+    let n = 2048;
+    let eps = 0.1;
+    let weights = mwvc_graph::WeightModel::Uniform { lo: 1.0, hi: 10.0 };
+    let mut table = Table::new(
+        format!("ROUNDS trajectories per executor (n = {n}, G(n,m), eps = {eps})"),
+        &[
+            "executor",
+            "d",
+            "step",
+            "kind",
+            "parts",
+            "edges before",
+            "edges after",
+            "cum rounds",
+        ],
+    );
+    for &d in &[16usize, 64] {
+        let wg = er_instance(n, d, weights, 900 + d as u64);
+        for kind in opts.executors() {
+            match kind {
+                ExecutorKind::Distributed => {
+                    let cfg = MpcMwvcConfig::practical(eps, 7);
+                    let res = run_reference(&wg, &cfg);
+                    let mut cum = 0usize;
+                    for p in &res.phases {
+                        cum += mwvc_core::mpc::stats::round_cost::PER_PHASE;
+                        table.push(vec![
+                            kind.label().to_string(),
+                            d.to_string(),
+                            p.phase.to_string(),
+                            "phase".into(),
+                            p.machines.to_string(),
+                            p.nonfrozen_edges_before.to_string(),
+                            p.nonfrozen_edges_after.to_string(),
+                            cum.to_string(),
+                        ]);
+                    }
+                    let final_edges = res
+                        .phases
+                        .last()
+                        .map_or(wg.num_edges(), |p| p.nonfrozen_edges_after);
+                    cum += mwvc_core::mpc::stats::round_cost::FINAL;
+                    table.push(vec![
+                        kind.label().to_string(),
+                        d.to_string(),
+                        res.num_phases().to_string(),
+                        "final".into(),
+                        "1".into(),
+                        final_edges.to_string(),
+                        "0".into(),
+                        cum.to_string(),
+                    ]);
+                }
+                ExecutorKind::RoundCompress => {
+                    let cfg = RoundCompressConfig::practical(eps, 7);
+                    let out = run_roundcompress(&wg, &cfg, rc_cluster(&wg, &cfg));
+                    let mut cum = 0usize;
+                    for l in &out.levels {
+                        cum += rc_round_cost::PER_LEVEL;
+                        table.push(vec![
+                            kind.label().to_string(),
+                            d.to_string(),
+                            l.level.to_string(),
+                            "level".into(),
+                            l.parts.to_string(),
+                            l.active_edges_before.to_string(),
+                            l.active_edges_after.to_string(),
+                            cum.to_string(),
+                        ]);
+                    }
+                    let final_edges = out
+                        .levels
+                        .last()
+                        .map_or(wg.num_edges(), |l| l.active_edges_after);
+                    cum += rc_round_cost::FINAL;
+                    table.push(vec![
+                        kind.label().to_string(),
+                        d.to_string(),
+                        out.num_levels().to_string(),
+                        "final".into(),
+                        "1".into(),
+                        final_edges.to_string(),
+                        "0".into(),
+                        cum.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    vec![table]
+}
+
 /// E09 — Section 3.2: the `w/d` initialization yields rounds driven by
 /// the *average* degree, the `w/Δ` variant by the *maximum* degree; the
 /// gap opens on hub-skewed instances.
-pub fn e09_init_comparison() -> Vec<Table> {
+pub fn e09_init_comparison(_opts: &ExpOptions) -> Vec<Table> {
     let eps = 0.1;
     let mut table = Table::new(
         "E09 Phase counts: w/d vs w/Delta init on hub-skewed graphs",

@@ -13,6 +13,7 @@
 //! G(n, m) with average degree 32; override with `SCALING_N` /
 //! `SCALING_DEGREE` (the determinism assertion is size-independent).
 
+use super::ExpOptions;
 use crate::table::{f, Table};
 use mwvc_core::mpc::{recommended_cluster, run_distributed, DistributedOutcome, MpcMwvcConfig};
 use mwvc_graph::generators::gnm;
@@ -85,7 +86,7 @@ fn thread_counts(hw: usize) -> Vec<usize> {
 }
 
 /// SCALING — wall-clock speedup vs. pool threads, bit-identical results.
-pub fn scaling() -> Vec<Table> {
+pub fn scaling(_opts: &ExpOptions) -> Vec<Table> {
     let n = env_usize("SCALING_N", 100_000);
     let avg_degree = env_usize("SCALING_DEGREE", 32);
     let m = n * avg_degree / 2;

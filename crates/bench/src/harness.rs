@@ -1,6 +1,13 @@
 //! The benchmark harness: a fixed workload matrix (generator families ×
-//! weight models × ε × size tiers) driven through the audited distributed
-//! executor plus the classic baselines, producing a [`BenchReport`].
+//! weight models × ε × size tiers × **executors**) driven through the
+//! audited executors plus the classic baselines, producing a
+//! [`BenchReport`].
+//!
+//! The executor axis ([`ExecutorKind`]) is how alternative algorithms
+//! enter the perf record: every registered executor runs every workload,
+//! so `BENCH_core.json` carries per-executor model costs and quality and
+//! `bench-diff` gates them all. `experiments compress` renders the same
+//! data as a head-to-head table.
 //!
 //! Determinism contract: everything in the report except `wall_clock_s`
 //! is a pure function of the workload definition — bit-identical at any
@@ -14,8 +21,9 @@
 use crate::schema::{BenchReport, ModelCosts, Quality, WorkloadReport, SCHEMA_VERSION};
 use crate::table::{f, Table};
 use mwvc_baselines::{bar_yehuda_even, greedy_ratio_cover, lp_optimum};
-use mwvc_core::mpc::{recommended_cluster, run_distributed, MpcMwvcConfig};
+use mwvc_core::mpc::{DistributedExecutor, Executor, MpcMwvcConfig};
 use mwvc_graph::{EdgeIndex, GraphPreset, WeightModel, WeightedGraph};
+use mwvc_roundcompress::{RoundCompressConfig, RoundCompressExecutor};
 use std::time::Instant;
 
 /// Base seed of the matrix; per-workload seeds are derived from it and
@@ -52,21 +60,70 @@ impl BenchSuite {
     }
 }
 
+/// The benched executors — the executor axis of the workload matrix.
+/// Each kind builds a fresh [`Executor`] per workload from the workload's
+/// ε and derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Ghaffari–Jin–Nilis Algorithm 2 as audited message-passing dataflow
+    /// (the baseline executor).
+    Distributed,
+    /// The Assadi-style round-compression executor
+    /// (`mwvc_roundcompress`).
+    RoundCompress,
+}
+
+impl ExecutorKind {
+    /// All benched executors, in stable matrix order.
+    pub fn all() -> [ExecutorKind; 2] {
+        [ExecutorKind::Distributed, ExecutorKind::RoundCompress]
+    }
+
+    /// The executor's stable name (matches [`Executor::name`]; appears in
+    /// workload ids and `BENCH_core.json` rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorKind::Distributed => "distributed",
+            ExecutorKind::RoundCompress => "roundcompress",
+        }
+    }
+
+    /// Parses a name as printed by [`ExecutorKind::label`].
+    pub fn from_name(name: &str) -> Option<ExecutorKind> {
+        ExecutorKind::all().into_iter().find(|k| k.label() == name)
+    }
+
+    /// Builds the executor for one workload run.
+    pub fn build(&self, epsilon: f64, seed: u64) -> Box<dyn Executor> {
+        match self {
+            ExecutorKind::Distributed => Box::new(DistributedExecutor::new(
+                MpcMwvcConfig::practical(epsilon, seed),
+            )),
+            ExecutorKind::RoundCompress => Box::new(RoundCompressExecutor::new(
+                RoundCompressConfig::practical(epsilon, seed),
+            )),
+        }
+    }
+}
+
 /// One cell of the workload matrix.
 #[derive(Debug, Clone)]
 pub struct BenchWorkload {
-    /// Stable id: `{family}-{weights}-{eps}-n{tier}`.
+    /// Stable id: `{family}-{weights}-{eps}-n{tier}-{executor}`.
     pub id: String,
     /// Graph family preset.
     pub preset: GraphPreset,
     /// Weight-model label (part of the id).
     pub weights_label: &'static str,
-    /// Weight model.
+    /// Weight model (ignored for [`GraphPreset::File`] presets, which
+    /// carry their own weights).
     pub weights: WeightModel,
     /// Accuracy parameter.
     pub epsilon: f64,
     /// Size tier the workload belongs to.
     pub tier_n: usize,
+    /// Executor that runs the workload.
+    pub executor: ExecutorKind,
 }
 
 impl BenchWorkload {
@@ -100,26 +157,71 @@ fn weight_axis() -> Vec<(&'static str, WeightModel)> {
 const EPS_AXIS: [(&str, f64); 2] = [("eps4", 0.25), ("eps16", 0.0625)];
 
 /// The full workload matrix of a suite, in stable order: tiers, then
-/// families, then weights, then ε.
+/// families, then weights, then ε, then executors (innermost, so entries
+/// sharing an instance stay adjacent for the one-slot cache and
+/// head-to-head rows sit next to each other).
 pub fn workload_matrix(suite: BenchSuite) -> Vec<BenchWorkload> {
     let mut out = Vec::new();
     for &n in suite.tiers() {
         for preset in GraphPreset::standard_families(n, AVG_DEGREE) {
             for (weights_label, weights) in weight_axis() {
                 for (eps_label, epsilon) in EPS_AXIS {
-                    out.push(BenchWorkload {
-                        id: format!("{}-{weights_label}-{eps_label}-n{n}", preset.family()),
-                        preset,
-                        weights_label,
-                        weights,
-                        epsilon,
-                        tier_n: n,
-                    });
+                    for executor in ExecutorKind::all() {
+                        out.push(BenchWorkload {
+                            id: format!(
+                                "{}-{weights_label}-{eps_label}-n{n}-{}",
+                                preset.family(),
+                                executor.label()
+                            ),
+                            preset: preset.clone(),
+                            weights_label,
+                            weights,
+                            epsilon,
+                            tier_n: n,
+                            executor,
+                        });
+                    }
                 }
             }
         }
     }
     out
+}
+
+/// Out-of-matrix workloads for a real graph file ([`GraphPreset::File`]):
+/// the file's own weights, the standard ε axis, one entry per executor.
+/// These run through `experiments bench --graph FILE`; they are not part
+/// of the committed baseline, so gate such reports against a baseline
+/// generated with the same flag.
+pub fn file_workloads(path: &str) -> Result<Vec<BenchWorkload>, String> {
+    let preset = GraphPreset::from_path(path)?;
+    // Cheap existence check so a bad path fails at flag-parse time; the
+    // file itself is parsed once, by `build_instance` through the shared
+    // one-slot instance cache (the id carries no vertex count, which
+    // would force a full parse here).
+    std::fs::metadata(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let stem = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .split('.')
+        .next()
+        .unwrap_or("graph");
+    let mut out = Vec::new();
+    for (eps_label, epsilon) in EPS_AXIS {
+        for executor in ExecutorKind::all() {
+            out.push(BenchWorkload {
+                id: format!("file-{stem}-{eps_label}-{}", executor.label()),
+                preset: preset.clone(),
+                weights_label: "file",
+                weights: WeightModel::Uniform { lo: 1.0, hi: 1.0 },
+                epsilon,
+                tier_n: 0, // unknown until loaded; reports carry the real n
+                executor,
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// FNV-1a of a string — stable seed derivation from workload ids.
@@ -148,13 +250,21 @@ pub struct InstanceContext {
 }
 
 /// Builds the instance (graph, weights, LP bound, baselines) of a
-/// workload. Deterministic in the workload's instance key.
+/// workload. Deterministic in the workload's instance key. File presets
+/// load their stored weights; generated presets sample the workload's
+/// weight model.
 pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
     let key = w.instance_key();
     let graph_seed = BENCH_BASE_SEED ^ fnv1a(&key);
-    let g = w.preset.build(graph_seed);
-    let weights = w.weights.sample(&g, graph_seed ^ 0x5eed_0001);
-    let wg = WeightedGraph::new(g, weights);
+    let wg = if matches!(w.preset, GraphPreset::File { .. }) {
+        w.preset
+            .load_weighted()
+            .unwrap_or_else(|e| panic!("file workload {}: {e}", w.id))
+    } else {
+        let g = w.preset.build(graph_seed);
+        let weights = w.weights.sample(&g, graph_seed ^ 0x5eed_0001);
+        WeightedGraph::new(g, weights)
+    };
     let eidx = EdgeIndex::build(&wg.graph);
     let lp_bound = lp_optimum(&wg).value;
     let greedy_weight = greedy_ratio_cover(&wg).weight(&wg);
@@ -169,26 +279,24 @@ pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
     }
 }
 
-/// Runs one workload on a prebuilt instance.
+/// Runs one workload on a prebuilt instance through its executor.
 pub fn run_on_instance(w: &BenchWorkload, ctx: &InstanceContext) -> WorkloadReport {
     let algo_seed = BENCH_BASE_SEED ^ fnv1a(&w.id);
-    let cfg = MpcMwvcConfig::practical(w.epsilon, algo_seed);
-    let cluster = recommended_cluster(&ctx.wg, &cfg);
+    let exec = w.executor.build(w.epsilon, algo_seed);
     let start = Instant::now();
-    let outcome = run_distributed(&ctx.wg, &cfg, cluster);
+    let outcome = exec.run(&ctx.wg);
     let wall_clock_s = start.elapsed().as_secs_f64();
     outcome
-        .cover
-        .verify(&ctx.wg.graph)
-        .expect("pipeline must produce a valid cover");
-    let cost = outcome.cost_report(&cluster);
-    let traffic = cost.traffic.expect("distributed runs carry traffic");
-    let cover_weight = outcome.cover.weight(&ctx.wg);
-    let certified_ratio = outcome
-        .certificate
-        .certified_ratio(&ctx.wg, &ctx.eidx, cover_weight);
+        .solution
+        .verify(&ctx.wg, &ctx.eidx)
+        .expect("every executor must produce a valid certified cover");
+    let cost = outcome.cost;
+    let traffic = cost.traffic.expect("benched executors carry traffic");
+    let cover_weight = outcome.solution.weight(&ctx.wg);
+    let certified_ratio = outcome.solution.certified_ratio(&ctx.wg, &ctx.eidx);
     WorkloadReport {
         id: w.id.clone(),
+        executor: w.executor.label().to_string(),
         family: w.preset.family().to_string(),
         weights: w.weights_label.to_string(),
         epsilon: w.epsilon,
@@ -206,7 +314,7 @@ pub fn run_on_instance(w: &BenchWorkload, ctx: &InstanceContext) -> WorkloadRepo
         },
         quality: Quality {
             cover_weight,
-            cover_size: outcome.cover.size() as i64,
+            cover_size: outcome.solution.cover.size() as i64,
             certified_ratio,
             lp_bound: ctx.lp_bound,
             ratio_vs_lp: cover_weight / ctx.lp_bound,
@@ -225,11 +333,15 @@ pub fn run_workload(w: &BenchWorkload) -> WorkloadReport {
 
 /// Runs a full suite, returning the report and a human-readable table.
 pub fn run_suite(suite: BenchSuite) -> (BenchReport, Table) {
-    let matrix = workload_matrix(suite);
+    run_workloads(suite.label(), workload_matrix(suite))
+}
+
+/// Runs an explicit workload list (a suite matrix, a filtered slice, or
+/// file workloads appended) under a suite label.
+pub fn run_workloads(suite_label: &str, matrix: Vec<BenchWorkload>) -> (BenchReport, Table) {
     let mut table = Table::new(
         format!(
-            "BENCH model costs & quality ({} suite, {} workloads, seed {BENCH_BASE_SEED:#x})",
-            suite.label(),
+            "BENCH model costs & quality ({suite_label} suite, {} workloads, seed {BENCH_BASE_SEED:#x})",
             matrix.len()
         ),
         &[
@@ -275,7 +387,7 @@ pub fn run_suite(suite: BenchSuite) -> (BenchReport, Table) {
     }
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
-        suite: suite.label().to_string(),
+        suite: suite_label.to_string(),
         seed: BENCH_BASE_SEED as i64,
         hardware_threads: std::thread::available_parallelism().map_or(1, |x| x.get()) as i64,
         workloads,
@@ -290,14 +402,32 @@ mod tests {
     #[test]
     fn quick_matrix_shape_and_unique_ids() {
         let m = workload_matrix(BenchSuite::Quick);
-        // 5 families × 2 weight models × 2 ε × 1 tier.
-        assert_eq!(m.len(), 20);
+        // 5 families × 2 weight models × 2 ε × 1 tier × 2 executors.
+        assert_eq!(m.len(), 40);
         let mut ids: Vec<&str> = m.iter().map(|w| w.id.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "workload ids must be unique");
-        assert!(m.iter().any(|w| w.id == "gnp-uniform-eps4-n1024"));
-        assert!(m.iter().any(|w| w.id == "bipartite-zipf-eps16-n1024"));
+        assert_eq!(ids.len(), 40, "workload ids must be unique");
+        assert!(m
+            .iter()
+            .any(|w| w.id == "gnp-uniform-eps4-n1024-distributed"));
+        assert!(m
+            .iter()
+            .any(|w| w.id == "bipartite-zipf-eps16-n1024-roundcompress"));
+        // Both executors cover every base workload.
+        for k in ExecutorKind::all() {
+            assert_eq!(m.iter().filter(|w| w.executor == k).count(), 20);
+        }
+    }
+
+    #[test]
+    fn executor_kinds_roundtrip_names() {
+        for k in ExecutorKind::all() {
+            assert_eq!(ExecutorKind::from_name(k.label()), Some(k));
+            // The kind's label agrees with the executor's own name.
+            assert_eq!(k.build(0.1, 1).name(), k.label());
+        }
+        assert_eq!(ExecutorKind::from_name("bogus"), None);
     }
 
     #[test]
@@ -320,33 +450,72 @@ mod tests {
     }
 
     #[test]
-    fn tiny_workload_runs_and_reports_consistently() {
+    fn tiny_workload_runs_and_reports_consistently_per_executor() {
         // A miniature out-of-matrix workload keeps this test fast while
-        // exercising the whole reporting path.
-        let w = BenchWorkload {
-            id: "gnm-uniform-eps16-n256-test".into(),
-            preset: GraphPreset::Gnm {
-                n: 256,
-                avg_degree: 16,
-            },
-            weights_label: "uniform",
-            weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
-            epsilon: 0.0625,
-            tier_n: 256,
-        };
-        let r = run_workload(&w);
-        assert_eq!(r.n, 256);
-        assert_eq!(r.m, 2048);
-        assert_eq!(r.model.violations, 0);
-        assert!(r.model.mpc_rounds >= 6, "at least the closing rounds");
-        assert!(r.model.total_message_words > 0);
-        assert!(r.quality.lp_bound > 0.0);
-        assert!(r.quality.cover_weight >= r.quality.lp_bound - 1e-9);
-        assert!(r.quality.ratio_vs_lp >= 1.0 - 1e-9);
-        assert!(r.quality.certified_ratio >= 1.0 - 1e-9);
-        // Model costs and quality are reproducible bit-for-bit.
-        let r2 = run_workload(&w);
-        assert_eq!(r.model, r2.model);
-        assert_eq!(r.quality, r2.quality);
+        // exercising the whole reporting path, for every executor kind.
+        for executor in ExecutorKind::all() {
+            let w = BenchWorkload {
+                id: format!("gnm-uniform-eps16-n256-test-{}", executor.label()),
+                preset: GraphPreset::Gnm {
+                    n: 256,
+                    avg_degree: 16,
+                },
+                weights_label: "uniform",
+                weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
+                epsilon: 0.0625,
+                tier_n: 256,
+                executor,
+            };
+            let r = run_workload(&w);
+            assert_eq!(r.executor, executor.label());
+            assert_eq!(r.n, 256);
+            assert_eq!(r.m, 2048);
+            assert_eq!(r.model.violations, 0);
+            assert!(r.model.mpc_rounds >= 6, "at least the closing rounds");
+            assert!(r.model.total_message_words > 0);
+            assert!(r.quality.lp_bound > 0.0);
+            assert!(r.quality.cover_weight >= r.quality.lp_bound - 1e-9);
+            assert!(r.quality.ratio_vs_lp >= 1.0 - 1e-9);
+            assert!(r.quality.certified_ratio >= 1.0 - 1e-9);
+            // Model costs and quality are reproducible bit-for-bit.
+            let r2 = run_workload(&w);
+            assert_eq!(r.model, r2.model);
+            assert_eq!(r.quality, r2.quality);
+        }
+    }
+
+    #[test]
+    fn file_workloads_run_with_stored_weights() {
+        use mwvc_graph::io::write_edge_list;
+        use mwvc_graph::{Graph, VertexWeights};
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let wg = WeightedGraph::new(
+            g,
+            VertexWeights::from_vec(vec![1.0, 3.0, 1.0, 3.0, 1.0, 3.0]),
+        );
+        let path = std::env::temp_dir().join(format!("bench-file-{}.edges", std::process::id()));
+        let mut buf = Vec::new();
+        write_edge_list(&wg, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let ws = file_workloads(path.to_str().unwrap()).expect("file workloads");
+        // ε axis × executor axis, ids unique and labeled "file".
+        assert_eq!(ws.len(), 2 * ExecutorKind::all().len());
+        for w in &ws {
+            assert!(w.id.starts_with("file-bench-file"), "{}", w.id);
+            assert_eq!(w.weights_label, "file");
+            let r = run_workload(w);
+            assert_eq!(r.family, "file");
+            assert_eq!(r.n, 6);
+            assert_eq!(r.m, 6);
+            // The stored weights were used: the optimal cover takes the
+            // three weight-1 vertices, and every executor must stay within
+            // factor 2+O(ε) of LP* = 3.
+            assert!((r.quality.lp_bound - 3.0).abs() < 1e-6, "{r:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+
+        assert!(file_workloads("/missing/nope.edges").is_err());
+        assert!(file_workloads("bad-extension.zzz").is_err());
     }
 }

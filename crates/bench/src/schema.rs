@@ -15,7 +15,10 @@ use crate::json::Json;
 
 /// Version of the `BENCH_core.json` layout. Bump when renaming,
 /// removing, reordering, or changing the meaning of any field.
-pub const SCHEMA_VERSION: i64 = 1;
+///
+/// v2: the workload matrix gained the executor axis — every row carries
+/// an `"executor"` name and workload ids end in `-{executor}`.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Model-side costs of one workload run: exactly what the paper's MPC
 /// model charges for, as measured by the audited distributed executor.
@@ -61,8 +64,11 @@ pub struct Quality {
 /// One workload row of the benchmark report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
-    /// Stable workload id, e.g. `gnm-zipf-eps16-n1024`.
+    /// Stable workload id, e.g. `gnm-zipf-eps16-n1024-distributed`.
     pub id: String,
+    /// Executor that ran the workload (an
+    /// [`mwvc_core::mpc::Executor::name`]).
+    pub executor: String,
     /// Generator family (a [`mwvc_graph::GraphPreset::family`] name).
     pub family: String,
     /// Weight-model label.
@@ -217,6 +223,7 @@ impl WorkloadReport {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("id".into(), Json::Str(self.id.clone())),
+            ("executor".into(), Json::Str(self.executor.clone())),
             ("family".into(), Json::Str(self.family.clone())),
             ("weights".into(), Json::Str(self.weights.clone())),
             ("epsilon".into(), Json::Num(self.epsilon)),
@@ -228,10 +235,20 @@ impl WorkloadReport {
         ])
     }
 
-    fn from_json(j: &Json) -> Result<Self, String> {
+    fn from_json(j: &Json, schema_version: i64) -> Result<Self, String> {
         let id = req_str(j, "id", "workload")?;
         let ctx = format!("workload {id}");
+        // v1 reports predate the executor axis; default the single
+        // executor of that era so the report still parses and the
+        // schema_version mismatch surfaces as a bench-diff finding (with
+        // regenerate guidance) instead of a parse error.
+        let executor = if schema_version < 2 {
+            req_str(j, "executor", &ctx).unwrap_or_else(|_| "distributed".into())
+        } else {
+            req_str(j, "executor", &ctx)?
+        };
         Ok(WorkloadReport {
+            executor,
             family: req_str(j, "family", &ctx)?,
             weights: req_str(j, "weights", &ctx)?,
             epsilon: req_num(j, "epsilon", &ctx)?,
@@ -284,7 +301,7 @@ impl BenchReport {
             .and_then(Json::as_arr)
             .ok_or("report: missing workloads array")?
             .iter()
-            .map(WorkloadReport::from_json)
+            .map(|w| WorkloadReport::from_json(w, schema_version))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(BenchReport {
             schema_version,
@@ -326,7 +343,8 @@ pub fn synthetic_report() -> BenchReport {
         hardware_threads: 1,
         workloads: vec![
             WorkloadReport {
-                id: "gnm-uniform-eps4-n64".into(),
+                id: "gnm-uniform-eps4-n64-distributed".into(),
+                executor: "distributed".into(),
                 family: "gnm".into(),
                 weights: "uniform".into(),
                 epsilon: 0.25,
@@ -354,7 +372,8 @@ pub fn synthetic_report() -> BenchReport {
                 wall_clock_s: 0.015625,
             },
             WorkloadReport {
-                id: "rmat-zipf-eps16-n64".into(),
+                id: "rmat-zipf-eps16-n64-roundcompress".into(),
+                executor: "roundcompress".into(),
                 family: "rmat".into(),
                 weights: "zipf".into(),
                 epsilon: 0.0625,
@@ -426,6 +445,28 @@ mod tests {
         report.schema_version = SCHEMA_VERSION + 1;
         let err = BenchReport::from_json(&report.to_json()).unwrap_err();
         assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn v1_report_without_executor_parses_for_the_diff_gate() {
+        // A pre-executor-axis report must not die as a parse error; the
+        // schema_version mismatch is bench-diff's finding to raise.
+        let mut report = synthetic_report();
+        report.schema_version = 1;
+        let text = report
+            .to_json()
+            .replace("      \"executor\": \"distributed\",\n", "")
+            .replace("      \"executor\": \"roundcompress\",\n", "");
+        assert!(!text.contains("executor"));
+        let back = BenchReport::from_json(&text).expect("v1 parses");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.workloads.iter().all(|w| w.executor == "distributed"));
+        // At the current schema the field stays required.
+        let v2 = synthetic_report()
+            .to_json()
+            .replace("      \"executor\": \"distributed\",\n", "");
+        let err = BenchReport::from_json(&v2).unwrap_err();
+        assert!(err.contains("executor"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! be bit-identical at every host pool width.
 
 use mwvc_bench::diff::{diff_reports, DiffOptions, FindingKind};
-use mwvc_bench::harness::{run_workload, BenchWorkload};
+use mwvc_bench::harness::{run_workload, BenchWorkload, ExecutorKind};
 use mwvc_bench::schema::{synthetic_report, BenchReport, ModelCosts, Quality};
 use mwvc_graph::{GraphPreset, WeightModel};
 use std::path::PathBuf;
@@ -105,11 +105,26 @@ fn bench_diff_binary_flags_injected_rounds_regression() {
     assert_eq!(out.status.code(), Some(1), "regression must exit 1");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("rmat-zipf-eps16-n64"),
+        stdout.contains("rmat-zipf-eps16-n64-roundcompress"),
         "offending workload named: {stdout}"
     );
     assert!(stdout.contains("model.mpc_rounds"), "{stdout}");
     assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A workload/executor entry absent from the candidate is an explicit
+    // matrix-mismatch error, not a silently clean partial comparison.
+    let mut partial = base.clone();
+    partial.workloads.remove(1);
+    let partial_path = temp_file("partial.json", &partial.to_json());
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .args([&base_path, &partial_path])
+        .output()
+        .expect("run bench-diff");
+    assert_eq!(out.status.code(), Some(1), "missing entry must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("missing from candidate"), "{stdout}");
+    assert!(stdout.contains("missing from one report"), "{stdout}");
+    let _ = std::fs::remove_file(partial_path);
 
     // Identical files pass with exit 0.
     let out = Command::new(env!("CARGO_BIN_EXE_bench-diff"))
@@ -138,7 +153,17 @@ fn bench_diff_binary_flags_injected_rounds_regression() {
 #[test]
 fn experiments_cli_rejects_unknown_and_lists() {
     let exe = env!("CARGO_BIN_EXE_experiments");
-    for args in [vec!["bogus"], vec!["all", "bogus"], vec!["--frobnicate"]] {
+    for args in [
+        vec!["bogus"],
+        vec!["all", "bogus"],
+        vec!["--frobnicate"],
+        vec!["rounds", "--executor", "bogus"],
+        vec!["e01", "--graph", "only-for-bench.col"],
+        // --executor must be rejected, not silently ignored, by
+        // experiments that cannot honor it.
+        vec!["e08", "--executor", "roundcompress"],
+        vec!["compress", "--executor", "distributed"],
+    ] {
         let out = Command::new(exe).args(&args).output().expect("run");
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -156,40 +181,43 @@ fn experiments_cli_rejects_unknown_and_lists() {
 /// The determinism contract behind the gate: gated fields are
 /// bit-identical whether the harness runs on a 1-thread or a 3-thread
 /// host pool (the acceptance criterion's RAYON_NUM_THREADS sweep, in
-/// miniature).
+/// miniature) — for every benched executor.
 #[test]
 fn gated_fields_bit_identical_across_pool_widths() {
-    let w = BenchWorkload {
-        id: "gnm-uniform-eps16-n256-poolcheck".into(),
-        preset: GraphPreset::Gnm {
-            n: 256,
-            avg_degree: 16,
-        },
-        weights_label: "uniform",
-        weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
-        epsilon: 0.0625,
-        tier_n: 256,
-    };
-    let run = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("build pool");
-        pool.install(|| run_workload(&w))
-    };
-    let a = run(1);
-    let b = run(3);
-    assert_eq!(a.model, b.model, "model costs must not see host threading");
-    assert_eq!(a.quality, b.quality, "quality must not see host threading");
-    // Equality of the gated fields is exactly what diff_reports checks.
-    let wrap = |w: mwvc_bench::schema::WorkloadReport| BenchReport {
-        schema_version: mwvc_bench::schema::SCHEMA_VERSION,
-        suite: "poolcheck".into(),
-        seed: 0,
-        hardware_threads: 1,
-        workloads: vec![w],
-    };
-    let d = diff_reports(&wrap(a), &wrap(b), DiffOptions::default());
-    assert!(d.is_clean(), "{:?}", d.findings);
-    assert!(d.findings.iter().all(|f| f.kind != FindingKind::Structural));
+    for executor in ExecutorKind::all() {
+        let w = BenchWorkload {
+            id: format!("gnm-uniform-eps16-n256-poolcheck-{}", executor.label()),
+            preset: GraphPreset::Gnm {
+                n: 256,
+                avg_degree: 16,
+            },
+            weights_label: "uniform",
+            weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
+            epsilon: 0.0625,
+            tier_n: 256,
+            executor,
+        };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build pool");
+            pool.install(|| run_workload(&w))
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(a.model, b.model, "model costs must not see host threading");
+        assert_eq!(a.quality, b.quality, "quality must not see host threading");
+        // Equality of the gated fields is exactly what diff_reports checks.
+        let wrap = |w: mwvc_bench::schema::WorkloadReport| BenchReport {
+            schema_version: mwvc_bench::schema::SCHEMA_VERSION,
+            suite: "poolcheck".into(),
+            seed: 0,
+            hardware_threads: 1,
+            workloads: vec![w],
+        };
+        let d = diff_reports(&wrap(a), &wrap(b), DiffOptions::default());
+        assert!(d.is_clean(), "{}: {:?}", executor.label(), d.findings);
+        assert!(d.findings.iter().all(|f| f.kind != FindingKind::Structural));
+    }
 }

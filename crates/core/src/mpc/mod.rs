@@ -13,10 +13,16 @@
 //!
 //! [`local_sim`] holds the per-machine simulation shared by all of them;
 //! [`config`] holds every constant of the paper as a parameter.
+//!
+//! [`executor`] defines the crate-spanning [`Executor`] trait — the
+//! contract every end-to-end MWVC algorithm (this one, and alternative
+//! algorithms in other crates such as `mwvc-roundcompress`) implements so
+//! the benchmark harness can compare them head to head.
 
 pub mod config;
 pub mod coupling;
 pub mod distributed;
+pub mod executor;
 pub mod local_sim;
 pub mod reference;
 pub mod stats;
@@ -24,5 +30,8 @@ pub mod stats;
 pub use config::{BiasParams, IterationSchedule, MpcMwvcConfig, PhaseSwitch};
 pub use coupling::{run_coupled, CouplingReport, IterationDeviation};
 pub use distributed::{recommended_cluster, run_distributed, DistributedOutcome};
+pub use executor::{
+    CoverCertificate, DistributedExecutor, Executor, ExecutorOutcome, ReferenceExecutor,
+};
 pub use reference::{run_reference, run_reference_observed, PhaseObserver, PhaseSnapshot};
 pub use stats::{CostReport, FinalPhaseStats, MpcRunResult, PhaseStats, TrafficCosts};

@@ -37,7 +37,7 @@ pub use builder::GraphBuilder;
 pub use csr::{Edge, Graph, VertexId};
 pub use edge_index::{EdgeId, EdgeIndex};
 pub use partition::VertexPartition;
-pub use presets::GraphPreset;
+pub use presets::{GraphFileFormat, GraphPreset};
 pub use subgraph::InducedSubgraph;
 pub use weights::{VertexWeights, WeightModel};
 

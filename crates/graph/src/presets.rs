@@ -10,10 +10,22 @@
 //! one is a schema-visible change.
 
 use crate::generators::{chung_lu, gnm, gnp, random_bipartite, rmat, RmatParams};
-use crate::Graph;
+use crate::io::{read_dimacs, read_edge_list};
+use crate::{Graph, WeightedGraph};
+
+/// On-disk format of a [`GraphPreset::File`] workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFileFormat {
+    /// DIMACS `edge`/`col` format (`p edge n m`, 1-based `e u v` lines,
+    /// optional `n v w` vertex weights).
+    Dimacs,
+    /// Plain edge list (`n` on the first line, `u v` edges, optional
+    /// `w v weight` lines).
+    EdgeList,
+}
 
 /// A named, scaled graph family.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GraphPreset {
     /// Erdős–Rényi `G(n, p)` with `p = avg_degree / (n-1)`.
     Gnp {
@@ -54,6 +66,17 @@ pub enum GraphPreset {
         /// Target average degree.
         avg_degree: f64,
     },
+    /// A real graph loaded from a file ([`crate::io`] loaders) — the entry
+    /// point for running external instances through any executor and the
+    /// bench harness. Deterministic trivially (the seed is ignored); file
+    /// weights (DIMACS `n` lines / edge-list `w` lines) are surfaced by
+    /// [`GraphPreset::load_weighted`].
+    File {
+        /// Path to the graph file.
+        path: String,
+        /// On-disk format.
+        format: GraphFileFormat,
+    },
 }
 
 impl GraphPreset {
@@ -77,6 +100,27 @@ impl GraphPreset {
         ]
     }
 
+    /// Derives a [`GraphPreset::File`] from a path, inferring the format
+    /// from the extension: `.col`/`.clq`/`.dimacs` → DIMACS,
+    /// `.txt`/`.edges`/`.el` → edge list.
+    pub fn from_path(path: &str) -> Result<GraphPreset, String> {
+        let ext = path.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
+        let format = match ext.as_str() {
+            "col" | "clq" | "dimacs" => GraphFileFormat::Dimacs,
+            "txt" | "edges" | "el" => GraphFileFormat::EdgeList,
+            other => {
+                return Err(format!(
+                    "cannot infer graph format from extension {other:?} \
+                     (known: .col/.clq/.dimacs, .txt/.edges/.el)"
+                ))
+            }
+        };
+        Ok(GraphPreset::File {
+            path: path.to_string(),
+            format,
+        })
+    }
+
     /// Stable family name (appears in benchmark workload ids).
     pub fn family(&self) -> &'static str {
         match self {
@@ -85,10 +129,12 @@ impl GraphPreset {
             GraphPreset::ChungLu { .. } => "chung_lu",
             GraphPreset::Rmat { .. } => "rmat",
             GraphPreset::Bipartite { .. } => "bipartite",
+            GraphPreset::File { .. } => "file",
         }
     }
 
-    /// Nominal vertex count of the preset (`2^scale` for R-MAT).
+    /// Nominal vertex count of the preset (`2^scale` for R-MAT; `0` for
+    /// [`GraphPreset::File`], whose size is unknown until loaded).
     pub fn nominal_n(&self) -> usize {
         match *self {
             GraphPreset::Gnp { n, .. }
@@ -96,10 +142,36 @@ impl GraphPreset {
             | GraphPreset::ChungLu { n, .. }
             | GraphPreset::Bipartite { n, .. } => n,
             GraphPreset::Rmat { scale, .. } => 1usize << scale,
+            GraphPreset::File { .. } => 0,
         }
     }
 
-    /// Builds the graph deterministically from `seed`.
+    /// Loads the weighted instance of a [`GraphPreset::File`] preset,
+    /// honoring the weights stored in the file (vertices without explicit
+    /// weights default to 1). Errors for every other preset — generated
+    /// families carry no intrinsic weights; sample a
+    /// [`crate::WeightModel`] over [`GraphPreset::build`] instead.
+    pub fn load_weighted(&self) -> Result<WeightedGraph, String> {
+        let GraphPreset::File { path, format } = self else {
+            return Err(format!(
+                "preset family {:?} is generated, not loaded from a file",
+                self.family()
+            ));
+        };
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+        let parsed = match format {
+            GraphFileFormat::Dimacs => read_dimacs(file),
+            GraphFileFormat::EdgeList => read_edge_list(file),
+        };
+        parsed.map_err(|e| format!("cannot parse {path:?}: {e}"))
+    }
+
+    /// Builds the graph deterministically from `seed`. For
+    /// [`GraphPreset::File`] the seed is ignored and the file's graph
+    /// structure is returned (weights dropped — use
+    /// [`GraphPreset::load_weighted`] to keep them); panics with the load
+    /// error if the file is missing or malformed, matching the infallible
+    /// signature of the generated families.
     pub fn build(&self, seed: u64) -> Graph {
         match *self {
             GraphPreset::Gnp { n, avg_degree } => {
@@ -128,6 +200,11 @@ impl GraphPreset {
                     0.0
                 };
                 random_bipartite(left, right, p, seed)
+            }
+            GraphPreset::File { .. } => {
+                self.load_weighted()
+                    .unwrap_or_else(|e| panic!("file preset: {e}"))
+                    .graph
             }
         }
     }
@@ -170,6 +247,58 @@ mod tests {
         }
         .build(3);
         assert_eq!(g.num_edges(), 4000);
+    }
+
+    #[test]
+    fn file_preset_roundtrips_through_both_loaders() {
+        use crate::io::{write_dimacs, write_edge_list};
+        use crate::{VertexWeights, WeightedGraph};
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let wg = WeightedGraph::new(g, VertexWeights::from_vec(vec![1.0, 2.5, 1.0, 4.0, 1.0]));
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut dimacs = Vec::new();
+        write_dimacs(&wg, &mut dimacs).unwrap();
+        let mut edges = Vec::new();
+        write_edge_list(&wg, &mut edges).unwrap();
+        for (name, buf) in [
+            (format!("preset-{pid}.col"), dimacs),
+            (format!("preset-{pid}.edges"), edges),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, &buf).unwrap();
+            let preset = GraphPreset::from_path(path.to_str().unwrap()).unwrap();
+            assert_eq!(preset.family(), "file");
+            assert_eq!(preset.nominal_n(), 0, "size unknown before loading");
+            // build() ignores the seed and returns the file's structure...
+            let ga = preset.build(1);
+            let gb = preset.build(2);
+            assert_eq!(ga, wg.graph);
+            assert_eq!(ga, gb);
+            // ...while load_weighted keeps the stored weights.
+            let loaded = preset.load_weighted().unwrap();
+            assert_eq!(loaded.graph, wg.graph);
+            assert_eq!(loaded.weights, wg.weights);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn file_preset_error_paths_are_clear() {
+        let err = GraphPreset::from_path("graph.xyz").unwrap_err();
+        assert!(err.contains("extension"), "{err}");
+        let missing = GraphPreset::File {
+            path: "/nonexistent/definitely-missing.col".into(),
+            format: GraphFileFormat::Dimacs,
+        };
+        let err = missing.load_weighted().unwrap_err();
+        assert!(err.contains("cannot open"), "{err}");
+        let generated = GraphPreset::Gnm {
+            n: 10,
+            avg_degree: 2,
+        };
+        let err = generated.load_weighted().unwrap_err();
+        assert!(err.contains("generated"), "{err}");
     }
 
     #[test]

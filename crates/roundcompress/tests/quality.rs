@@ -1,0 +1,131 @@
+//! The round-compression executor's quality and determinism contract:
+//!
+//! * feasible covers on all five standard preset families,
+//! * `(2+O(ε))` quality against the *exact* LP lower bound (`LP* ≤ OPT`),
+//! * certificate soundness — the emitted dual never overstates the lower
+//!   bound (it stays at or below `LP*`),
+//! * bit-identical covers, certificates, and traces at host pool widths
+//!   1 and 3.
+
+use mwvc_baselines::lp_optimum;
+use mwvc_core::mpc::Executor;
+use mwvc_graph::{EdgeIndex, GraphPreset, WeightModel, WeightedGraph};
+use mwvc_roundcompress::{
+    recommended_cluster, run_roundcompress, RoundCompressConfig, RoundCompressExecutor,
+};
+
+const EPS: f64 = 0.0625; // the tight end of the bench matrix's ε axis
+
+fn preset_instance(preset: &GraphPreset, seed: u64) -> WeightedGraph {
+    let g = preset.build(seed);
+    let w = WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&g, seed ^ 0xABCD);
+    WeightedGraph::new(g, w)
+}
+
+/// Feasibility, (2+O(ε)) quality vs LP*, and certificate soundness on
+/// every standard family. The provable bound is `2/(1-4ε)` (threshold
+/// freezing backs every cover vertex with `(1-4ε)` of its weight in
+/// exactly feasible duals), which is `2 + O(ε)`.
+#[test]
+fn all_five_families_feasible_certified_and_within_two_plus_o_eps() {
+    for (i, preset) in GraphPreset::standard_families(512, 16).iter().enumerate() {
+        let wg = preset_instance(preset, 1000 + i as u64);
+        let eidx = EdgeIndex::build(&wg.graph);
+        let lp = lp_optimum(&wg).value;
+        let cfg = RoundCompressConfig::practical(EPS, 77 + i as u64);
+        let out = run_roundcompress(&wg, &cfg, recommended_cluster(&wg, &cfg));
+        out.cover
+            .verify(&wg.graph)
+            .unwrap_or_else(|e| panic!("{}: uncovered edge {e:?}", preset.family()));
+        assert!(
+            out.trace.is_clean(),
+            "{}: model violations",
+            preset.family()
+        );
+
+        let weight = out.cover.weight(&wg);
+        let bound = 2.0 / (1.0 - 4.0 * EPS);
+        // True quality against the exact LP lower bound.
+        assert!(
+            weight <= bound * lp + 1e-9,
+            "{}: weight {weight} > (2+O(eps)) * LP* = {bound} * {lp}",
+            preset.family()
+        );
+        // Certificate soundness: the dual is feasible (no rescaling
+        // needed) and its value never overstates the LP optimum.
+        let factor = out.certificate.feasibility_factor(&wg, &eidx);
+        assert!(factor <= 1.0 + 1e-9, "{}: infeasible dual", preset.family());
+        let lb = out.certificate.lower_bound(&wg, &eidx);
+        assert!(
+            lb <= lp + 1e-6 * lp.max(1.0),
+            "{}: certified lower bound {lb} overstates LP* {lp}",
+            preset.family()
+        );
+        assert!(lb > 0.0, "{}: vacuous certificate", preset.family());
+        // And the a-posteriori certified ratio matches the a-priori bound.
+        let certified = out.certificate.certified_ratio(&wg, &eidx, weight);
+        assert!(
+            certified <= bound + 1e-9,
+            "{}: certified ratio {certified} > {bound}",
+            preset.family()
+        );
+    }
+}
+
+/// The ε-free pricing solver certifies a plain factor 2 on every family.
+#[test]
+fn pricing_solver_certifies_factor_two_on_all_families() {
+    for (i, preset) in GraphPreset::standard_families(256, 8).iter().enumerate() {
+        let wg = preset_instance(preset, 2000 + i as u64);
+        let eidx = EdgeIndex::build(&wg.graph);
+        let cfg = RoundCompressConfig::pricing(5 + i as u64);
+        let out = run_roundcompress(&wg, &cfg, recommended_cluster(&wg, &cfg));
+        out.cover.verify(&wg.graph).expect("valid cover");
+        let ratio = out
+            .certificate
+            .certified_ratio(&wg, &eidx, out.cover.weight(&wg));
+        assert!(ratio <= 2.0 + 1e-9, "{}: ratio {ratio}", preset.family());
+    }
+}
+
+/// The determinism contract behind the perf gate: covers, certificates,
+/// and the full execution trace are bit-identical whether the host pool
+/// has 1 or 3 threads.
+#[test]
+fn bit_identical_covers_and_traces_at_pool_widths_1_and_3() {
+    let preset = GraphPreset::Gnm {
+        n: 512,
+        avg_degree: 16,
+    };
+    let wg = preset_instance(&preset, 99);
+    let cfg = RoundCompressConfig::practical(EPS, 31);
+    let cluster = recommended_cluster(&wg, &cfg);
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        pool.install(|| run_roundcompress(&wg, &cfg, cluster))
+    };
+    let a = run(1);
+    let b = run(3);
+    assert_eq!(a.cover, b.cover, "covers must not see host threading");
+    assert_eq!(a.certificate, b.certificate);
+    assert_eq!(a.trace, b.trace, "traces must not see host threading");
+    assert_eq!(a.levels, b.levels);
+
+    // Same through the Executor trait (what the bench harness calls).
+    let exec = RoundCompressExecutor::new(cfg);
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let pool3 = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build()
+        .unwrap();
+    let ra = pool1.install(|| exec.run(&wg));
+    let rb = pool3.install(|| exec.run(&wg));
+    assert_eq!(ra.solution, rb.solution);
+    assert_eq!(ra.cost, rb.cost);
+}

@@ -8,7 +8,10 @@
 //! * [`graph`] — graph substrate (CSR graphs, generators, weights, I/O),
 //! * [`sim`] — the MPC model simulator (machines, rounds, accounting),
 //! * [`core`] — the paper's algorithms (centralized Algorithm 1 and the
-//!   round-compressed MPC Algorithm 2),
+//!   round-compressed MPC Algorithm 2), plus the [`core::mpc::Executor`]
+//!   trait every end-to-end algorithm plugs into,
+//! * [`roundcompress`] — the first alternative algorithm: an Assadi-style
+//!   round-compression executor behind the same trait,
 //! * [`baselines`] — comparison algorithms and exact certification
 //!   machinery (LP bound, branch-and-bound).
 //!
@@ -19,3 +22,4 @@ pub use mpc_sim as sim;
 pub use mwvc_baselines as baselines;
 pub use mwvc_core as core;
 pub use mwvc_graph as graph;
+pub use mwvc_roundcompress as roundcompress;
