@@ -9,6 +9,7 @@
 //! experiments compress              # executor head-to-head report
 //! experiments bench --quick         # benchmark matrix -> BENCH_core.json
 //! experiments bench --out B.json    # choose the output path
+//! experiments bench --repeat 5      # min-of-5 wall-clock (stable timing)
 //! experiments bench --quick --graph g.col       # add file workloads
 //! experiments --list                # enumerate experiments and workloads
 //! ```
@@ -31,6 +32,7 @@ struct Options {
     full: bool,
     out: Option<String>,
     graph: Option<String>,
+    repeat: Option<usize>,
     executor: Option<ExecutorKind>,
     /// Whether `--executor` appeared at all (including `both`), so the
     /// flag is rejected — never silently ignored — where inapplicable.
@@ -79,6 +81,18 @@ fn main() {
                         .unwrap_or_else(|| usage("--graph needs a file path"))
                         .clone(),
                 );
+            }
+            "--repeat" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--repeat needs a count"))
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--repeat needs a positive integer"));
+                if n == 0 {
+                    usage("--repeat needs a positive integer");
+                }
+                opt.repeat = Some(n);
             }
             "--executor" => {
                 i += 1;
@@ -158,7 +172,11 @@ fn run_bench(opt: &Options) {
             matrix.len()
         );
     }
-    let (report, table) = harness::run_workloads(suite.label(), matrix);
+    let repeat = opt.repeat.unwrap_or(1);
+    if repeat > 1 {
+        eprintln!("[bench] --repeat {repeat}: reporting min-of-{repeat} wall-clock per workload");
+    }
+    let (report, table) = harness::run_workloads_repeat(suite.label(), matrix, repeat);
     emit_tables("bench", &[table], &opt.csv_dir);
     std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
@@ -174,8 +192,8 @@ fn run_bench(opt: &Options) {
 /// Classic experiment tables (`e01`..`e13`, `scaling`, `rounds`,
 /// `compress`, `all`).
 fn run_tables(opt: &Options) {
-    if opt.quick || opt.full || opt.out.is_some() || opt.graph.is_some() {
-        usage("--quick/--full/--out/--graph apply to the 'bench' subcommand only");
+    if opt.quick || opt.full || opt.out.is_some() || opt.graph.is_some() || opt.repeat.is_some() {
+        usage("--quick/--full/--out/--graph/--repeat apply to the 'bench' subcommand only");
     }
     if opt.ids.is_empty() {
         usage("no experiments selected");
@@ -263,7 +281,7 @@ fn print_usage() {
     );
     eprintln!(
         "       experiments bench [--quick | --full] [--out PATH] [--threads N] \
-         [--executor NAME|both] [--graph FILE]"
+         [--executor NAME|both] [--graph FILE] [--repeat N]"
     );
     eprintln!("       experiments --list");
 }

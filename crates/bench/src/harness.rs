@@ -281,11 +281,31 @@ pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
 
 /// Runs one workload on a prebuilt instance through its executor.
 pub fn run_on_instance(w: &BenchWorkload, ctx: &InstanceContext) -> WorkloadReport {
+    run_on_instance_repeat(w, ctx, 1)
+}
+
+/// Runs one workload `repeat >= 1` times, reporting the **minimum**
+/// wall-clock over the runs. Model costs and quality are deterministic
+/// (identical every run), so repetition only stabilizes the informational
+/// `wall_clock_s` column against host noise — min-of-N is the standard
+/// low-noise estimator for a deterministic computation.
+pub fn run_on_instance_repeat(
+    w: &BenchWorkload,
+    ctx: &InstanceContext,
+    repeat: usize,
+) -> WorkloadReport {
+    assert!(repeat >= 1, "repeat must be at least 1");
     let algo_seed = BENCH_BASE_SEED ^ fnv1a(&w.id);
     let exec = w.executor.build(w.epsilon, algo_seed);
-    let start = Instant::now();
-    let outcome = exec.run(&ctx.wg);
-    let wall_clock_s = start.elapsed().as_secs_f64();
+    let mut wall_clock_s = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let out = exec.run(&ctx.wg);
+        wall_clock_s = wall_clock_s.min(start.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    let outcome = outcome.expect("at least one run");
     outcome
         .solution
         .verify(&ctx.wg, &ctx.eidx)
@@ -337,8 +357,18 @@ pub fn run_suite(suite: BenchSuite) -> (BenchReport, Table) {
 }
 
 /// Runs an explicit workload list (a suite matrix, a filtered slice, or
-/// file workloads appended) under a suite label.
+/// file workloads appended) under a suite label, one run per workload.
 pub fn run_workloads(suite_label: &str, matrix: Vec<BenchWorkload>) -> (BenchReport, Table) {
+    run_workloads_repeat(suite_label, matrix, 1)
+}
+
+/// [`run_workloads`] with `repeat` executor runs per workload (min-of-N
+/// wall-clock; see [`run_on_instance_repeat`]).
+pub fn run_workloads_repeat(
+    suite_label: &str,
+    matrix: Vec<BenchWorkload>,
+    repeat: usize,
+) -> (BenchReport, Table) {
     let mut table = Table::new(
         format!(
             "BENCH model costs & quality ({suite_label} suite, {} workloads, seed {BENCH_BASE_SEED:#x})",
@@ -369,7 +399,7 @@ pub fn run_workloads(suite_label: &str, matrix: Vec<BenchWorkload>) -> (BenchRep
             cached = Some((key, build_instance(w)));
         }
         let ctx = &cached.as_ref().unwrap().1;
-        let report = run_on_instance(w, ctx);
+        let report = run_on_instance_repeat(w, ctx, repeat);
         table.push(vec![
             report.id.clone(),
             report.n.to_string(),

@@ -86,7 +86,10 @@ pub(crate) enum PlanKind {
     Finish,
 }
 
-/// All messages of the dataflow.
+/// All messages of the dataflow. The phase plan — five scalars broadcast
+/// `m` times per phase — is boxed so the rare fat variant does not size
+/// every per-edge/per-vertex message on the wire; the hot variants stay
+/// within 24 bytes (pinned below).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Msg {
     Subscribe {
@@ -101,7 +104,7 @@ pub(crate) enum Msg {
         max_resid_deg: u32,
         min_wp: f64,
     },
-    Plan(PlanMsg),
+    Plan(Box<PlanMsg>),
     VertexInfo {
         v: u32,
         class: u8,
@@ -168,6 +171,21 @@ impl Words for Msg {
         }
     }
 }
+
+// The message ABI this executor puts on the fabric: the hot per-edge and
+// per-vertex variants must stay small enough that a cache line holds at
+// least two messages. Checked at compile time so a variant growing past
+// the budget (or the boxed plan regressing to inline) fails the build.
+const _: () = {
+    assert!(
+        std::mem::size_of::<Msg>() <= 24,
+        "hot Msg variants must stay <= 24 bytes"
+    );
+    assert!(
+        std::mem::size_of::<Msg>() < std::mem::size_of::<PlanMsg>() + 8,
+        "the fat plan payload must stay boxed out of the hot ABI"
+    );
+};
 
 /// Per-endpoint cache a home keeps for each of its edges.
 #[derive(Debug, Clone, Copy, Default)]
@@ -413,6 +431,7 @@ pub fn run_distributed(
             *counts.entry(e.u).or_default() += 1;
             *counts.entry(e.v).or_default() += 1;
         }
+        ctx.reserve_sends(counts.len());
         for (v, count) in counts {
             ctx.send(
                 owner_of_key(v as u64, ctx.num_machines()),
@@ -521,7 +540,7 @@ pub fn run_distributed(
             coord.prev_active = Some(total_active);
             coord.decision = Some(kind);
             let phase = coord.phase;
-            ctx.broadcast(Msg::Plan(PlanMsg { phase, kind }));
+            ctx.broadcast(Msg::Plan(Box::new(PlanMsg { phase, kind })));
         });
 
         let decision = cluster
@@ -606,7 +625,7 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
     cluster.round("classify", move |ctx, st, inbox| {
         for msg in inbox {
             match msg {
-                Msg::Plan(p) => st.plan = Some(p),
+                Msg::Plan(p) => st.plan = Some(*p),
                 other => unreachable!("classify got {other:?}"),
             }
         }
@@ -635,13 +654,12 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
                 w_prime: o.w_prime,
                 resid_deg: o.resid_deg,
             };
-            let subs = o.subscribers.clone();
-            let (class_v, w_prime) = (o.class, o.w_prime);
-            for home in subs {
+            for &home in &o.subscribers {
                 ctx.send(home as usize, info.clone());
             }
-            if class_v == class::HIGH {
+            if o.class == class::HIGH {
                 let part = VertexPartition::part_of_vertex(v, m as usize, part_seed);
+                let w_prime = o.w_prime;
                 ctx.send(part, Msg::SimVertex { v, w_prime });
             }
         }
@@ -658,10 +676,16 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
                     w_prime,
                     resid_deg,
                 } => {
-                    if let Some(idxs) = st.endpoint_index.get(&v) {
-                        let idxs = idxs.clone();
-                        for i in idxs {
-                            let e = &mut st.home_edges[i as usize];
+                    // Split borrow: the static index is read-only while
+                    // the edges it points at are updated.
+                    let MachineState {
+                        endpoint_index,
+                        home_edges,
+                        ..
+                    } = &mut *st;
+                    if let Some(idxs) = endpoint_index.get(&v) {
+                        for &i in idxs {
+                            let e = &mut home_edges[i as usize];
                             let cache = if e.u == v {
                                 &mut e.u_cache
                             } else {
@@ -792,8 +816,7 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
                 Msg::FreezeIter { v, t } => {
                     let o = st.owned_mut(v);
                     o.freeze_iter = t;
-                    let subs = o.subscribers.clone();
-                    for home in subs {
+                    for &home in &o.subscribers {
                         ctx.send(home as usize, Msg::FreezeIter { v, t });
                     }
                 }
@@ -810,10 +833,14 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         for msg in inbox {
             match msg {
                 Msg::FreezeIter { v, t } => {
-                    if let Some(idxs) = st.endpoint_index.get(&v) {
-                        let idxs = idxs.clone();
-                        for i in idxs {
-                            let e = &mut st.home_edges[i as usize];
+                    let MachineState {
+                        endpoint_index,
+                        home_edges,
+                        ..
+                    } = &mut *st;
+                    if let Some(idxs) = endpoint_index.get(&v) {
+                        for &i in idxs {
+                            let e = &mut home_edges[i as usize];
                             if e.u == v {
                                 e.u_cache.freeze_iter = t;
                             } else {
@@ -876,8 +903,7 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
                 let o = &mut st.owned[i];
                 o.frozen = true;
                 let v = o.v;
-                let subs = o.subscribers.clone();
-                for home in subs {
+                for &home in &o.subscribers {
                     ctx.send(home as usize, Msg::FinalFrozen { v });
                 }
             }
@@ -891,10 +917,14 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         for msg in inbox {
             match msg {
                 Msg::FinalFrozen { v } => {
-                    if let Some(idxs) = st.endpoint_index.get(&v) {
-                        let idxs = idxs.clone();
-                        for i in idxs {
-                            let e = &mut st.home_edges[i as usize];
+                    let MachineState {
+                        endpoint_index,
+                        home_edges,
+                        ..
+                    } = &mut *st;
+                    if let Some(idxs) = endpoint_index.get(&v) {
+                        for &i in idxs {
+                            let e = &mut home_edges[i as usize];
                             if e.u == v {
                                 e.u_cache.newly_frozen = true;
                             } else {
@@ -944,10 +974,11 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
     cluster.round("gather", move |ctx, st, inbox| {
         for msg in inbox {
             match msg {
-                Msg::Plan(p) => st.plan = Some(p),
+                Msg::Plan(p) => st.plan = Some(*p),
                 other => unreachable!("gather got {other:?}"),
             }
         }
+        ctx.reserve_sends(st.active_edges_local as usize);
         for e in &st.home_edges {
             if !e.frozen {
                 ctx.send(

@@ -1,0 +1,242 @@
+//! Criterion bench: the router's destination shuffle, isolated from any
+//! algorithm — the pinned microbenchmark for fabric changes.
+//!
+//! Sweeps machine count (m ∈ {4, 64, 512}, plus 63 as an alignment
+//! control: 63 vs 64 separates cache-set aliasing effects from
+//! algorithmic ones in perfectly balanced rounds), destination
+//! distribution (uniform vs skewed onto one hot machine), and message
+//! size (1 word vs 8 words). Each shape is measured three ways:
+//!
+//! * `flat`  — the production fabric: senders stage into **reused**
+//!   [`Outbox`] arenas (run-length destination bucketing), [`route`]
+//!   delivers into a **reused** CSR [`FlatInboxes`] buffer,
+//! * `prior` — the fabric this one replaced, reproduced verbatim:
+//!   unsized `(dest, message)` pair outboxes, per-round inbox `Vec`
+//!   allocation, and (at these sizes) the old parallel shuffle's
+//!   `Vec<Vec<usize>>` tally/start tables with a cursor clone per
+//!   sender,
+//! * `naive` — the minimal push shuffle retained as the bit-exactness
+//!   oracle ([`reference_shuffle`]): a lower bound with no staging,
+//!   accounting bundled into one pass, and allocator-placed buffers.
+//!
+//! All sides clone each message exactly once per iteration from the same
+//! prototype, so the difference is purely fabric overhead. The paths
+//! produce bit-identical inboxes (pinned by `tests/fabric_properties.rs`).
+//!
+//! Numbers from this container carry the usual caveat: one hardware
+//! thread, so parallel shuffle stages run sequentially here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpc_sim::router::{reference_shuffle, route, stage_outboxes, FlatInboxes, RouteScratch};
+use mpc_sim::{MpcConfig, Words};
+use rayon::prelude::*;
+
+/// An 8-word payload — the "fat message" end of the sweep.
+#[derive(Clone, Copy)]
+struct Big([u64; 8]);
+
+impl Words for Big {
+    fn words(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Total messages per shape, split evenly across senders. Above the
+/// parallel cutover (4096) for every swept machine count.
+const TOTAL_MSGS: usize = 16_384;
+
+/// Destination of message `k` from `from` under the given skew. Skewed
+/// shapes hammer machine 0 with 80% of all traffic (the hot-aggregator
+/// pattern of the executors' stats/gather rounds).
+fn dest(m: usize, from: usize, k: usize, skewed: bool) -> usize {
+    if skewed && !k.is_multiple_of(5) {
+        0
+    } else {
+        (from * 31 + k * 7) % m
+    }
+}
+
+/// Prototype pair lists for one shape.
+fn prototype<M: Clone>(m: usize, skewed: bool, payload: M) -> Vec<Vec<(usize, M)>> {
+    let per = TOTAL_MSGS / m;
+    (0..m)
+        .map(|from| {
+            (0..per)
+                .map(|k| (dest(m, from, k, skewed), payload.clone()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Raw slot pointer of the prior fabric's place stage.
+struct InboxPtr<M>(*mut M);
+unsafe impl<M: Send> Send for InboxPtr<M> {}
+unsafe impl<M: Send> Sync for InboxPtr<M> {}
+
+impl<M> InboxPtr<M> {
+    fn slot(&self, index: usize) -> *mut M {
+        // SAFETY bound: callers stay within the reserved capacity.
+        unsafe { self.0.add(index) }
+    }
+}
+
+/// The shuffle this PR's fabric replaced, reproduced verbatim: the old
+/// three-stage parallel path with per-sender `Vec` tallies, a
+/// `Vec<Vec<usize>>` start table built from a cursor clone per sender,
+/// and freshly allocated inbox `Vec`s. The old router took this path
+/// unconditionally at >= 4096 messages, on any thread count.
+#[allow(clippy::type_complexity)]
+fn prior_shuffle<M: Words + Send + Sync>(
+    m: usize,
+    outboxes: Vec<Vec<(usize, M)>>,
+) -> (Vec<Vec<M>>, Vec<usize>, Vec<usize>) {
+    struct Tally {
+        sent: usize,
+        msgs_to: Vec<u32>,
+        words_to: Vec<usize>,
+    }
+    let tallies: Vec<Tally> = outboxes
+        .par_iter()
+        .enumerate()
+        .map(|(from, outbox)| {
+            let mut t = Tally {
+                sent: 0,
+                msgs_to: vec![0u32; m],
+                words_to: vec![0usize; m],
+            };
+            for (to, msg) in outbox {
+                assert!(*to < m, "machine {from} addressed nonexistent machine {to}");
+                let w = msg.words();
+                t.sent += w;
+                t.words_to[*to] += w;
+                t.msgs_to[*to] += 1;
+            }
+            t
+        })
+        .collect();
+
+    let sent_words: Vec<usize> = tallies.iter().map(|t| t.sent).collect();
+    let mut received_words = vec![0usize; m];
+    let mut recv_msgs = vec![0usize; m];
+    for t in &tallies {
+        for (to, (rw, rm)) in received_words.iter_mut().zip(&mut recv_msgs).enumerate() {
+            *rw += t.words_to[to];
+            *rm += t.msgs_to[to] as usize;
+        }
+    }
+    let mut starts: Vec<Vec<usize>> = Vec::with_capacity(m);
+    let mut cursor = vec![0usize; m];
+    for t in &tallies {
+        starts.push(cursor.clone());
+        for (to, c) in cursor.iter_mut().enumerate() {
+            *c += t.msgs_to[to] as usize;
+        }
+    }
+
+    let mut inboxes: Vec<Vec<M>> = recv_msgs.iter().map(|&n| Vec::with_capacity(n)).collect();
+    let bases: Vec<InboxPtr<M>> = inboxes
+        .iter_mut()
+        .map(|v| InboxPtr(v.as_mut_ptr()))
+        .collect();
+    outboxes
+        .into_par_iter()
+        .zip(starts.into_par_iter())
+        .for_each(|(outbox, mut next)| {
+            for (to, msg) in outbox {
+                // SAFETY: disjoint slots by the prefix-sum layout.
+                unsafe { bases[to].slot(next[to]).write(msg) };
+                next[to] += 1;
+            }
+        });
+    for (inbox, &n) in inboxes.iter_mut().zip(&recv_msgs) {
+        // SAFETY: exactly `n` slots were initialized above.
+        unsafe { inbox.set_len(n) };
+    }
+    (inboxes, sent_words, received_words)
+}
+
+fn bench_shape<M: Words + Clone + Send + Sync>(
+    c: &mut Criterion,
+    label: &str,
+    m: usize,
+    skewed: bool,
+    payload: M,
+) {
+    let pairs = prototype(m, skewed, payload);
+    let shape = format!("m{m}/{}/{label}", if skewed { "skewed" } else { "uniform" });
+    let config = MpcConfig::new(m, usize::MAX / 4);
+    let mut group = c.benchmark_group("router");
+    group.throughput(Throughput::Elements(TOTAL_MSGS as u64));
+
+    // Production fabric, buffers reused across iterations as the cluster
+    // reuses them across rounds.
+    let mut outboxes = stage_outboxes(m, prototype(m, skewed, pairs[0][0].1.clone()));
+    let mut inboxes = FlatInboxes::new(m);
+    let mut scratch = RouteScratch::new();
+    // Warm the buffers, then drain so the timed loop starts clean.
+    route(&config, 0, &mut outboxes, &mut inboxes, &mut scratch);
+    group.bench_with_input(BenchmarkId::new("flat", &shape), &pairs, |b, pairs| {
+        b.iter(|| {
+            // Discard last iteration's delivery (capacity retained), then
+            // stage and route this round into the recycled buffers.
+            inboxes.clear();
+            for (outbox, list) in outboxes.iter_mut().zip(pairs) {
+                for (to, msg) in list {
+                    outbox.push(*to, msg.clone());
+                }
+            }
+            route(&config, 0, &mut outboxes, &mut inboxes, &mut scratch);
+            inboxes.total_messages()
+        })
+    });
+
+    // The replaced fabric: pair-list outboxes staged fresh each round,
+    // old parallel shuffle, freshly allocated inboxes.
+    group.bench_with_input(BenchmarkId::new("prior", &shape), &pairs, |b, pairs| {
+        b.iter(|| {
+            let staged: Vec<Vec<(usize, M)>> = pairs
+                .iter()
+                .map(|list| {
+                    let mut out = Vec::new();
+                    for (to, msg) in list {
+                        out.push((*to, msg.clone()));
+                    }
+                    out
+                })
+                .collect();
+            let (inb, ..) = prior_shuffle(m, staged);
+            inb.len()
+        })
+    });
+
+    // Pre-flat reference: fresh per-destination Vec pushes.
+    group.bench_with_input(BenchmarkId::new("naive", &shape), &pairs, |b, pairs| {
+        b.iter(|| {
+            let staged: Vec<Vec<(usize, M)>> = pairs
+                .iter()
+                .map(|list| {
+                    let mut out = Vec::new();
+                    for (to, msg) in list {
+                        out.push((*to, msg.clone()));
+                    }
+                    out
+                })
+                .collect();
+            let (inb, ..) = reference_shuffle(m, staged);
+            inb.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    for &m in &[4usize, 63, 64, 512] {
+        for &skewed in &[false, true] {
+            bench_shape(c, "small", m, skewed, 7u64);
+            bench_shape(c, "large", m, skewed, Big([7; 8]));
+        }
+    }
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

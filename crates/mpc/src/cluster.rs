@@ -1,34 +1,52 @@
 //! The cluster: per-machine state, synchronous rounds, parallel local
 //! computation.
 //!
-//! A [`Cluster<S, M>`] owns one state value `S` per machine and a typed
-//! inbox of messages `M`. [`Cluster::round`] runs one synchronous MPC
-//! round: every machine's closure executes (in parallel on the host via
-//! rayon — the model charges nothing for local computation), emits
+//! A [`Cluster<S, M>`] owns one state value `S` per machine and the
+//! communication fabric's buffers. [`Cluster::round`] runs one synchronous
+//! MPC round: every machine's closure executes (in parallel on the host
+//! via rayon — the model charges nothing for local computation), emits
 //! messages through its [`MachineCtx`], and the router delivers them while
 //! enforcing the model's capacity constraints.
+//!
+//! # Allocation discipline
+//!
+//! All round buffers — the per-machine [`Outbox`] arenas inside the
+//! contexts, the CSR [`FlatInboxes`] the router fills, and the router's
+//! [`RouteScratch`] — live in the cluster and are recycled across rounds.
+//! A machine reads its inbox through [`Inbox`], a by-value draining view
+//! of its slice of the shared flat buffer; nothing is copied and nothing
+//! is freed. After a warm-up round at the peak message shape, steady-state
+//! rounds perform no inbox/outbox heap allocation
+//! (`tests/fabric_properties.rs` pins this with a counting allocator).
 
 use crate::accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
 use crate::model::{Enforcement, MpcConfig};
-use crate::router::route;
+use crate::router::{route, FlatInboxes, Outbox, RouteScratch};
 use crate::words::Words;
 use rayon::prelude::*;
+use std::marker::PhantomData;
 
-/// A machine's handle for emitting messages during a round.
+/// A machine's handle for emitting messages during a round. Owns the
+/// machine's reusable outbox arena; the router drains it (retaining
+/// capacity) at the end of every round.
 pub struct MachineCtx<M> {
     /// This machine's index in `0..num_machines`.
     pub id: usize,
     num_machines: usize,
-    outbox: Vec<(usize, M)>,
+    outbox: Outbox<M>,
 }
 
 impl<M> MachineCtx<M> {
-    fn new(id: usize, num_machines: usize) -> Self {
+    fn new(id: usize, num_machines: usize, outbox: Outbox<M>) -> Self {
         Self {
             id,
             num_machines,
-            outbox: Vec::new(),
+            outbox,
         }
+    }
+
+    fn into_outbox(self) -> Outbox<M> {
+        self.outbox
     }
 
     /// Number of machines in the cluster.
@@ -37,20 +55,140 @@ impl<M> MachineCtx<M> {
     }
 
     /// Queues `msg` for delivery to machine `to` at the end of the round.
+    /// Consecutive sends to the same destination share one run in the
+    /// outbox, which keeps the shuffle's tally stage O(destinations) for
+    /// grouped senders.
+    #[inline]
     pub fn send(&mut self, to: usize, msg: M) {
-        debug_assert!(to < self.num_machines);
-        self.outbox.push((to, msg));
+        assert!(
+            to < self.num_machines,
+            "machine {} addressed nonexistent machine {to}",
+            self.id
+        );
+        self.outbox.push(to, msg);
+    }
+
+    /// Capacity hint: reserves message storage for `n` further sends in
+    /// this machine's outbox arena, so a burst of known size never
+    /// reallocates its payloads mid-round. (The much smaller run table
+    /// grows amortized; both buffers keep their capacity across rounds.)
+    #[inline]
+    pub fn reserve_sends(&mut self, n: usize) {
+        self.outbox.reserve(n);
     }
 }
 
 impl<M: Clone> MachineCtx<M> {
     /// Sends a copy of `msg` to every machine (including self). Costs
     /// `num_machines * msg.words()` words of this machine's send budget —
-    /// broadcast is not free in MPC.
+    /// broadcast is not free in MPC. Clones for the first `m - 1`
+    /// recipients and moves the original into the last slot; `Copy`
+    /// message types need no further fast path (their `clone` is the
+    /// same memcpy).
     pub fn broadcast(&mut self, msg: M) {
-        for to in 0..self.num_machines {
-            self.outbox.push((to, msg.clone()));
+        let m = self.num_machines;
+        self.outbox.reserve(m);
+        for to in 0..m - 1 {
+            self.outbox.push(to, msg.clone());
         }
+        self.outbox.push(m - 1, msg);
+    }
+}
+
+/// A by-value draining view of one machine's inbox: iterates the
+/// machine's slice of the shared flat buffer, moving each message out.
+/// Unconsumed messages are dropped when the view is dropped, so partial
+/// reads are safe; the underlying buffer is recycled by the cluster.
+pub struct Inbox<'a, M> {
+    ptr: *mut M,
+    len: usize,
+    pos: usize,
+    _buf: PhantomData<&'a mut [M]>,
+}
+
+// SAFETY: the view exclusively owns its slice's messages (disjoint per
+// machine); sending it to the worker running that machine is safe.
+unsafe impl<M: Send> Send for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// View over `len` messages starting at `ptr`.
+    ///
+    /// # Safety
+    /// The range must hold initialized messages exclusively owned by this
+    /// view for `'a` (each message moved out or dropped exactly once).
+    pub(crate) unsafe fn from_raw(ptr: *mut M, len: usize) -> Self {
+        Inbox {
+            ptr,
+            len,
+            pos: 0,
+            _buf: PhantomData,
+        }
+    }
+
+    /// Messages remaining in the view.
+    pub fn len(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Whether the view is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.len
+    }
+
+    /// The undrained remainder, by reference.
+    pub fn as_slice(&self) -> &[M] {
+        // SAFETY: `pos..len` holds initialized messages owned by the view.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(self.pos), self.len - self.pos) }
+    }
+}
+
+impl<M> Iterator for Inbox<'_, M> {
+    type Item = M;
+
+    #[inline]
+    fn next(&mut self) -> Option<M> {
+        if self.pos == self.len {
+            return None;
+        }
+        // SAFETY: `pos` is advanced past the slot before anything can
+        // observe it again, so the message is moved out exactly once.
+        let msg = unsafe { self.ptr.add(self.pos).read() };
+        self.pos += 1;
+        Some(msg)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl<M> ExactSizeIterator for Inbox<'_, M> {}
+
+impl<M> Drop for Inbox<'_, M> {
+    fn drop(&mut self) {
+        // Drop any unread tail so ownership is always fully discharged.
+        for i in self.pos..self.len {
+            // SAFETY: slots `pos..len` are initialized and unread.
+            unsafe { self.ptr.add(i).drop_in_place() };
+        }
+        self.pos = self.len;
+    }
+}
+
+/// Raw shared pointer for handing disjoint inbox ranges to the parallel
+/// round workers.
+struct BufPtr<M>(*mut M);
+unsafe impl<M: Send> Send for BufPtr<M> {}
+unsafe impl<M: Send> Sync for BufPtr<M> {}
+
+impl<M> BufPtr<M> {
+    /// Pointer `index` elements past the base. Going through a method
+    /// (not the field) keeps closure captures on the `Sync` wrapper.
+    #[inline]
+    fn at(&self, index: usize) -> *mut M {
+        // SAFETY bound: callers stay within the buffer's capacity.
+        unsafe { self.0.add(index) }
     }
 }
 
@@ -59,7 +197,14 @@ impl<M: Clone> MachineCtx<M> {
 pub struct Cluster<S, M> {
     config: MpcConfig,
     states: Vec<S>,
-    inboxes: Vec<Vec<M>>,
+    /// Per-machine outbox arenas, recycled each round.
+    outboxes: Vec<Outbox<M>>,
+    /// Routed messages pending delivery, CSR layout, recycled each round.
+    inboxes: FlatInboxes<M>,
+    /// Router working memory, recycled each round.
+    scratch: RouteScratch,
+    /// Per-machine post-computation state footprint, recycled each round.
+    state_words: Vec<usize>,
     trace: ExecutionTrace,
 }
 
@@ -71,12 +216,16 @@ where
     /// Creates a cluster with `config.num_machines` machines, initializing
     /// machine `i`'s state to `init(i)`.
     pub fn new(config: MpcConfig, mut init: impl FnMut(usize) -> S) -> Self {
-        let states: Vec<S> = (0..config.num_machines).map(&mut init).collect();
-        let inboxes = (0..config.num_machines).map(|_| Vec::new()).collect();
+        let m = config.num_machines;
+        let states: Vec<S> = (0..m).map(&mut init).collect();
+        let outboxes = (0..m).map(|_| Outbox::new()).collect();
         Self {
             config,
             states,
-            inboxes,
+            outboxes,
+            inboxes: FlatInboxes::new(m),
+            scratch: RouteScratch::new(),
+            state_words: vec![0; m],
             trace: ExecutionTrace::default(),
         }
     }
@@ -114,52 +263,66 @@ where
     /// Executes one synchronous round.
     ///
     /// For every machine, `f(ctx, state, inbox)` runs with the messages
-    /// delivered at the end of the previous round. Messages sent through
+    /// delivered at the end of the previous round (an [`Inbox`] draining
+    /// view — iterate it to take messages by value). Messages sent through
     /// `ctx` are routed afterwards under the model's capacity constraints,
     /// and a [`RoundStats`] entry labeled `label` is appended to the trace.
     pub fn round<F>(&mut self, label: &str, f: F)
     where
-        F: Fn(&mut MachineCtx<M>, &mut S, Vec<M>) + Sync + Send,
+        F: for<'a> Fn(&mut MachineCtx<M>, &mut S, Inbox<'a, M>) + Sync + Send,
     {
-        let m = self.config.num_machines;
         let round_index = self.trace.rounds.len();
-        let inboxes = std::mem::replace(&mut self.inboxes, (0..m).map(|_| Vec::new()).collect());
 
         // Local computation: free in the model, parallel on the host.
-        // Each machine also reports its post-computation state footprint,
-        // so the resident check below needs no second scan.
-        let results: Vec<(Vec<(usize, M)>, usize)> = self
-            .states
-            .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .enumerate()
-            .map(|(id, (state, inbox))| {
-                let mut ctx = MachineCtx::new(id, m);
-                f(&mut ctx, state, inbox);
-                let state_words = state.words();
-                (ctx.outbox, state_words)
-            })
-            .collect();
-        let mut outboxes = Vec::with_capacity(m);
-        let mut state_words = Vec::with_capacity(m);
-        for (outbox, words) in results {
-            outboxes.push(outbox);
-            state_words.push(words);
+        // Each machine drains its disjoint slice of the shared inbox
+        // buffer and refills its own outbox arena; no per-round buffers
+        // are allocated. Each machine also reports its post-computation
+        // state footprint, so the resident check below needs no second
+        // scan.
+        {
+            let m = self.config.num_machines;
+            let base = BufPtr(self.inboxes.begin_drain());
+            let starts = self.inboxes.region_starts();
+            let lens = self.inboxes.region_lens();
+            self.states
+                .par_iter_mut()
+                .zip(self.outboxes.par_iter_mut())
+                .zip(self.state_words.par_iter_mut())
+                .enumerate()
+                .for_each(|(id, ((state, outbox), words))| {
+                    // SAFETY: machine regions are disjoint by the layout
+                    // tables; the drained buffer outlives this scope and
+                    // each message is owned by exactly one view.
+                    let inbox = unsafe { Inbox::from_raw(base.at(starts[id]), lens[id]) };
+                    // The context temporarily owns this machine's arena;
+                    // both moves are pointer swaps, not allocations.
+                    let mut ctx = MachineCtx::new(id, m, std::mem::take(outbox));
+                    f(&mut ctx, state, inbox);
+                    *words = state.words();
+                    *outbox = ctx.into_outbox();
+                });
         }
 
         // Communication: the only thing the model restricts.
-        let routed = route(&self.config, round_index, outboxes);
-        let mut violations: Vec<Violation> = routed.violations;
+        route(
+            &self.config,
+            round_index,
+            &mut self.outboxes,
+            &mut self.inboxes,
+            &mut self.scratch,
+        );
 
         // Resident memory check: state + freshly delivered inbox. The
         // inbox footprint equals the words received this round, which the
         // router already measured.
         let cap = self.config.memory_words;
         let mut max_resident = 0usize;
-        let residents = state_words
+        let residents = self
+            .state_words
             .iter()
-            .zip(&routed.received_words)
+            .zip(&self.scratch.received_words)
             .map(|(&s, &r)| s + r);
+        let mut violations: Vec<Violation> = std::mem::take(&mut self.scratch.violations);
         for (machine, resident) in residents.enumerate() {
             max_resident = max_resident.max(resident);
             if resident > cap {
@@ -180,22 +343,37 @@ where
             }
         }
 
-        let total_traffic = routed.sent_words.iter().sum();
+        let total_traffic = self.scratch.sent_words.iter().sum();
         self.trace.rounds.push(RoundStats {
             label: label.to_string(),
-            max_sent: routed.sent_words.iter().copied().max().unwrap_or(0),
-            max_received: routed.received_words.iter().copied().max().unwrap_or(0),
+            max_sent: self.scratch.sent_words.iter().copied().max().unwrap_or(0),
+            max_received: self
+                .scratch
+                .received_words
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
             max_resident,
             total_traffic,
         });
-        self.trace.violations.extend(violations);
-        self.inboxes = routed.inboxes;
+        self.trace.violations.append(&mut violations);
+        // Give the (now empty) violation buffer back for reuse.
+        self.scratch.violations = violations;
     }
 
     /// Messages currently pending delivery to machine `i` (sent in the
     /// last round, visible to the next). Primarily for tests.
     pub fn pending(&self, i: usize) -> &[M] {
-        &self.inboxes[i]
+        self.inboxes.slice(i)
+    }
+
+    /// Base pointer of the shared inbox buffer — stable across
+    /// steady-state rounds (buffer-identity probe for the allocation
+    /// tests).
+    #[doc(hidden)]
+    pub fn inbox_buffer_ptr(&self) -> *const M {
+        self.inboxes.buffer_ptr()
     }
 }
 
@@ -228,7 +406,7 @@ mod tests {
         // Round 2: each machine stores what it received.
         c.round("store", |ctx, state, inbox| {
             assert_eq!(inbox.len(), 1);
-            assert_eq!(inbox[0], ((ctx.id + 3) % 4) as u64);
+            assert_eq!(inbox.as_slice()[0], ((ctx.id + 3) % 4) as u64);
             state.0.extend(inbox);
         });
         assert_eq!(c.trace().num_rounds(), 2);
@@ -250,6 +428,23 @@ mod tests {
         for i in 0..5 {
             assert_eq!(c.pending(i), &[7u64]);
         }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_machine_in_order() {
+        // The last recipient gets the moved original; the delivered value
+        // must be indistinguishable from the clones.
+        let mut c: Cluster<Bag, Vec<u64>> =
+            Cluster::new(MpcConfig::new(3, 100), |_| Bag::default());
+        c.round("bcast", |ctx, _s, _i| {
+            if ctx.id == 1 {
+                ctx.broadcast(vec![1, 2, 3]);
+            }
+        });
+        for i in 0..3 {
+            assert_eq!(c.pending(i), &[vec![1, 2, 3]]);
+        }
+        assert_eq!(c.trace().rounds[0].max_sent, 9);
     }
 
     #[test]
@@ -296,7 +491,7 @@ mod tests {
         });
         c.round("consume", |ctx, state, inbox| {
             if ctx.id == 1 {
-                assert_eq!(inbox, vec![42]);
+                assert_eq!(inbox.as_slice(), &[42]);
                 state.0.extend(inbox);
             } else {
                 assert!(inbox.is_empty());
@@ -305,6 +500,21 @@ mod tests {
         c.round("empty", |_ctx, _s, inbox| {
             assert!(inbox.is_empty(), "messages must not be redelivered");
         });
+    }
+
+    #[test]
+    fn unread_inbox_messages_are_dropped_not_redelivered() {
+        // A machine that ignores its inbox entirely must not leak or
+        // redeliver; the drop runs inside the round.
+        let mut c: Cluster<Bag, Vec<u64>> =
+            Cluster::new(MpcConfig::new(2, 100), |_| Bag::default());
+        c.round("send", |ctx, _s, _i| {
+            if ctx.id == 0 {
+                ctx.send(1, vec![7; 5]);
+            }
+        });
+        c.round("ignore", |_ctx, _s, _inbox| { /* drop unread */ });
+        c.round("check", |_ctx, _s, inbox| assert!(inbox.is_empty()));
     }
 
     #[test]
@@ -325,6 +535,18 @@ mod tests {
         let (s2, t2) = run();
         assert_eq!(s1, s2);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn reserve_sends_accepts_hints() {
+        let mut c = cluster(3, 100);
+        c.round("hinted", |ctx, _s, _i| {
+            ctx.reserve_sends(2);
+            ctx.send(0, 1u64);
+            ctx.send(2, 2u64);
+        });
+        assert_eq!(c.pending(0).len(), 3);
+        assert_eq!(c.pending(2).len(), 3);
     }
 
     #[test]

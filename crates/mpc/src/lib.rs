@@ -17,7 +17,10 @@
 //!   [`MemoryRegime`] helpers for the paper's three regimes),
 //! * [`Cluster`] executes rounds: per-machine state, inboxes, and a
 //!   round closure run in parallel across host threads (rayon) — the host
-//!   parallelism affects only simulator wall-clock, never model costs,
+//!   parallelism affects only simulator wall-clock, never model costs.
+//!   All round buffers (per-machine [`Outbox`] arenas, the CSR
+//!   [`FlatInboxes`], router scratch) are owned by the cluster and
+//!   recycled, so steady-state rounds allocate nothing,
 //! * [`router`] enforces the per-round send/receive caps and the
 //!   resident-memory cap, either panicking ([`Enforcement::Strict`]) or
 //!   recording [`Violation`]s ([`Enforcement::Audit`]),
@@ -40,8 +43,9 @@ pub mod router;
 pub mod words;
 
 pub use accounting::{ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind};
-pub use cluster::{Cluster, MachineCtx};
+pub use cluster::{Cluster, Inbox, MachineCtx};
 pub use model::{Enforcement, MemoryRegime, MpcConfig};
+pub use router::{FlatInboxes, Outbox, RouteScratch};
 pub use words::Words;
 
 /// Hash-partition owner of a key: the machine responsible for aggregating

@@ -93,7 +93,6 @@ where
             return;
         }
         let mut sample: Vec<K> = inbox
-            .into_iter()
             .map(|m| match m {
                 SortMsg::Sample(k) => k,
                 _ => unreachable!("splitter round expects samples"),
@@ -131,7 +130,6 @@ where
 
     cluster.round("sort:collect", |_ctx, st, inbox| {
         st.output = inbox
-            .into_iter()
             .map(|m| match m {
                 SortMsg::Route(k) => k,
                 _ => unreachable!("collect round expects routed keys"),

@@ -35,7 +35,7 @@ proptest! {
             }
         });
         cluster.round("gather", |_ctx, st, inbox| {
-            st.0 = inbox;
+            st.0 = inbox.collect();
         });
         let total_sent = sends.len();
         let trace = cluster.trace();

@@ -113,6 +113,18 @@ impl Words for Msg {
     }
 }
 
+// The message ABI this executor puts on the fabric: every variant is a
+// handful of scalars, so the whole enum must stay within 24 bytes — at
+// least two messages per cache line. Checked at compile time so a
+// growing variant fails the build instead of silently fattening the
+// hottest buffers in the system.
+const _: () = {
+    assert!(
+        std::mem::size_of::<Msg>() <= 24,
+        "hot Msg variants must stay <= 24 bytes"
+    );
+};
+
 /// An edge, as held by its home machine.
 #[derive(Debug, Clone)]
 struct HomeEdge {
@@ -426,6 +438,7 @@ pub fn run_roundcompress(
             endpoints.insert(e.u);
             endpoints.insert(e.v);
         }
+        ctx.reserve_sends(endpoints.len());
         for v in endpoints {
             ctx.send(
                 owner_of_key(v as u64, ctx.num_machines()),
@@ -670,6 +683,7 @@ fn run_level_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
                 .map(|&(_, u, v)| (pos(u), pos(v)))
                 .collect();
             let out = solve_instance(&cfg, plan.level as u64, &vertices, &wp, &edges);
+            ctx.reserve_sends(st.sim_edges.len() + vertices.len());
             for (i, &(geid, ..)) in st.sim_edges.iter().enumerate() {
                 ctx.send(
                     owner_of_key(geid as u64, ctx.num_machines()),
@@ -704,8 +718,7 @@ fn run_level_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
                     o.w_prime = (o.w_prime - y).max(0.0);
                     if frozen {
                         o.frozen = true;
-                        let subs = o.subscribers.clone();
-                        for home in subs {
+                        for &home in &o.subscribers {
                             ctx.send(home as usize, Msg::FrozenNotice { v });
                         }
                     }
@@ -732,14 +745,21 @@ fn run_level_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
         for msg in inbox {
             match msg {
                 Msg::FrozenNotice { v } => {
-                    if let Some(idxs) = st.endpoint_index.get(&v) {
-                        let idxs = idxs.clone();
-                        for i in idxs {
-                            let e = &mut st.home_edges[i as usize];
+                    // Split borrow: the static index is read-only while
+                    // the edges it points at are finalized.
+                    let MachineState {
+                        endpoint_index,
+                        home_edges,
+                        active_edges_local,
+                        ..
+                    } = &mut *st;
+                    if let Some(idxs) = endpoint_index.get(&v) {
+                        for &i in idxs {
+                            let e = &mut home_edges[i as usize];
                             if !e.frozen {
                                 e.frozen = true;
                                 e.x_final = 0.0;
-                                st.active_edges_local -= 1;
+                                *active_edges_local -= 1;
                             }
                         }
                     }
@@ -765,6 +785,7 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
                 other => unreachable!("gather got {other:?}"),
             }
         }
+        ctx.reserve_sends(st.active_edges_local as usize);
         for e in &st.home_edges {
             if !e.frozen {
                 ctx.send(
