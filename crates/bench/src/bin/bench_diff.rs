@@ -9,6 +9,12 @@
 //! baseline refresh, or structural drift); `2` — usage, I/O, or parse
 //! error.
 
+// The gate's exit status IS its interface (0 pass / 1 gated diff /
+// 2 usage), and the divergent `usage`/`help` helpers need `exit` rather
+// than `ExitCode` plumbing; everything else in the workspace keeps the
+// deny.
+#![allow(clippy::exit)]
+
 use mwvc_bench::diff::{diff_reports, DiffOptions};
 use mwvc_bench::schema::BenchReport;
 

@@ -70,12 +70,15 @@ fn prototype<M: Clone>(m: usize, skewed: bool, payload: M) -> Vec<Vec<(usize, M)
 
 /// Raw slot pointer of the prior fabric's place stage.
 struct InboxPtr<M>(*mut M);
+// SAFETY: the wrapper only hands out raw pointers; the place stage
+// writes disjoint slot ranges per sender.
 unsafe impl<M: Send> Send for InboxPtr<M> {}
+// SAFETY: as above — shared access is to disjoint ranges only.
 unsafe impl<M: Send> Sync for InboxPtr<M> {}
 
 impl<M> InboxPtr<M> {
     fn slot(&self, index: usize) -> *mut M {
-        // SAFETY bound: callers stay within the reserved capacity.
+        // SAFETY: callers stay within the reserved capacity.
         unsafe { self.0.add(index) }
     }
 }

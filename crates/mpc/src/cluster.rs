@@ -179,7 +179,10 @@ impl<M> Drop for Inbox<'_, M> {
 /// Raw shared pointer for handing disjoint inbox ranges to the parallel
 /// round workers.
 struct BufPtr<M>(*mut M);
+// SAFETY: the wrapper only hands out raw pointers; the round loop gives
+// each worker a disjoint machine region.
 unsafe impl<M: Send> Send for BufPtr<M> {}
+// SAFETY: as above — shared access is to disjoint regions only.
 unsafe impl<M: Send> Sync for BufPtr<M> {}
 
 impl<M> BufPtr<M> {
@@ -187,7 +190,7 @@ impl<M> BufPtr<M> {
     /// (not the field) keeps closure captures on the `Sync` wrapper.
     #[inline]
     fn at(&self, index: usize) -> *mut M {
-        // SAFETY bound: callers stay within the buffer's capacity.
+        // SAFETY: callers stay within the buffer's capacity.
         unsafe { self.0.add(index) }
     }
 }

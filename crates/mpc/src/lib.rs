@@ -33,6 +33,8 @@
 //! Everything is deterministic given the seeds supplied through
 //! [`rng::stream_rng`].
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod accounting;
 pub mod cluster;
 pub mod congested_clique;

@@ -155,7 +155,9 @@ impl<M> Outbox<M> {
     /// All `msgs` must have been moved out (ownership transferred) since
     /// the last time the outbox was filled.
     unsafe fn forget_moved(&mut self) {
-        self.msgs.set_len(0);
+        // SAFETY: the caller moved every element out, so truncating the
+        // length to 0 merely stops the Vec from double-dropping them.
+        unsafe { self.msgs.set_len(0) };
         self.runs.clear();
     }
 }
@@ -373,13 +375,16 @@ impl RouteScratch {
 /// Raw base pointer shared across the placing workers; senders write
 /// disjoint slot ranges.
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper only hands out raw pointers; the shuffle stages
+// guarantee every worker writes a disjoint slot range.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared access is to disjoint ranges only.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     #[inline]
     fn at(&self, index: usize) -> *mut T {
-        // SAFETY bound: callers stay within the reserved capacity.
+        // SAFETY: callers stay within the reserved capacity.
         unsafe { self.0.add(index) }
     }
 }
@@ -568,6 +573,7 @@ fn shuffle_parallel<M: Words + Send + Sync>(
                 total += w;
                 base += len;
             }
+            // SAFETY: slot `from` of `sent_words` is owned by this sender.
             unsafe { *sent.at(from) = total };
         });
     }

@@ -19,12 +19,19 @@ use proptest::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Global allocator that counts allocations (used by the steady-state
-/// test; the property tests ignore it).
+/// Global allocator that counts allocations and deallocations (used by
+/// the steady-state and drop-discipline tests; the property tests ignore
+/// it). A `realloc` logically frees the old block and allocates a new
+/// one, so it bumps both counters — `ALLOCS - DEALLOCS` is therefore the
+/// number of live heap blocks.
 struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static DEALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: defers every operation to `System` with unchanged arguments;
+// the counter updates do not allocate, so the impl upholds the
+// `GlobalAlloc` contract exactly as `System` does.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -32,11 +39,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -46,6 +55,10 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocations() -> usize {
     ALLOCS.load(Ordering::Relaxed)
+}
+
+fn deallocations() -> usize {
+    DEALLOCS.load(Ordering::Relaxed)
 }
 
 /// Computes the violations the reference word totals imply under `cap`.
@@ -292,4 +305,117 @@ fn cluster_reuses_buffers_across_rounds() {
     // Machine 0 receives the burst from machine m-1, one coordinator
     // message per machine, and its own self-send.
     assert_eq!(cluster.pending(0).len(), 32 + m + 1);
+}
+
+/// Heap-owning message for the drop-discipline test: counts
+/// constructions and drops, and owns a `Box` so a double-drop would also
+/// corrupt the allocator rather than just a counter.
+struct Tracked(Box<u64>);
+
+static CREATED: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicUsize = AtomicUsize::new(0);
+
+impl Tracked {
+    fn new(v: u64) -> Self {
+        CREATED.fetch_add(1, Ordering::Relaxed);
+        Tracked(Box::new(v))
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        // Read through the box first, so a double-drop dereferences the
+        // freed payload instead of only over-counting.
+        std::hint::black_box(*self.0);
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Words for Tracked {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// Runs `rounds` cluster rounds of `Tracked` traffic in which machines
+/// drop their [`Inbox`] view at varying points — fully drained, untouched,
+/// and mid-iteration — then drops the cluster with the final round's
+/// deliveries still pending in the flat buffer.
+///
+/// Exercises all three ownership-discharge paths: messages moved out by
+/// iteration (dropped by the consumer), the unread tail dropped by
+/// `Inbox::drop`, and pending deliveries dropped by `FlatInboxes::drop`.
+fn run_tracked_scenario(m: usize, rounds: usize, per_dest: usize) {
+    struct Sum(u64);
+    impl Words for Sum {
+        fn words(&self) -> usize {
+            1
+        }
+    }
+
+    let mut cluster: Cluster<Sum, Tracked> = Cluster::new(MpcConfig::new(m, 1 << 20), |_| Sum(0));
+    for r in 0..rounds {
+        cluster.round("churn", move |ctx, state, mut inbox| {
+            // Vary the drain point by machine and round so every drop
+            // path occurs: full drain, immediate drop, mid-iteration drop.
+            let take = match (ctx.id + r) % 3 {
+                0 => inbox.len(),
+                1 => 0,
+                _ => inbox.len() / 2,
+            };
+            for _ in 0..take {
+                let msg = inbox.next().expect("inbox shorter than its len()");
+                state.0 += *msg.0;
+            }
+            // `inbox` is dropped here; any unread tail must be dropped by
+            // the view, exactly once.
+            let next = (ctx.id + 1) % ctx.num_machines();
+            ctx.reserve_sends(per_dest);
+            for k in 0..per_dest {
+                ctx.send(next, Tracked::new(k as u64));
+            }
+        });
+    }
+    drop(cluster);
+}
+
+/// Dropping an [`Inbox`] mid-iteration — across buffer-recycling rounds
+/// and with deliveries still pending at cluster teardown — neither leaks
+/// nor double-drops a message, at both the `Drop`-counter and the
+/// allocator level.
+#[test]
+fn partial_inbox_drains_drop_every_message_exactly_once() {
+    let m = 4;
+    let per_dest = 7;
+
+    // Warm-up pass: forces lazily initialized global state (the host
+    // pool, trace buffers) so the allocator-balance check below observes
+    // a closed scope.
+    run_tracked_scenario(m, 2, per_dest);
+    let created0 = CREATED.load(Ordering::Relaxed);
+    let dropped0 = DROPPED.load(Ordering::Relaxed);
+    assert_eq!(created0, dropped0, "warm-up pass leaked or double-dropped");
+
+    let rounds = 5;
+    let allocs_before = allocations();
+    let deallocs_before = deallocations();
+    run_tracked_scenario(m, rounds, per_dest);
+    let allocs_delta = allocations() - allocs_before;
+    let deallocs_delta = deallocations() - deallocs_before;
+
+    let created = CREATED.load(Ordering::Relaxed) - created0;
+    let dropped = DROPPED.load(Ordering::Relaxed) - dropped0;
+    assert_eq!(
+        created,
+        rounds * m * per_dest,
+        "every send constructs exactly one message"
+    );
+    assert_eq!(
+        created, dropped,
+        "messages dropped exactly once (fewer = leak, more = double-drop)"
+    );
+    assert_eq!(
+        allocs_delta, deallocs_delta,
+        "the scenario must return every heap block it allocated"
+    );
 }

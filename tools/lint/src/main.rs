@@ -1,0 +1,41 @@
+//! `repo-lint` CLI: lints the tree and reports violations.
+//!
+//! ```text
+//! repo-lint [ROOT]      # ROOT defaults to the current directory
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => ".".to_string(),
+        [root] if !root.starts_with('-') => root.clone(),
+        _ => {
+            eprintln!("usage: repo-lint [ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = match repo_lint::lint_tree(Path::new(&root)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repo-lint: error scanning {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("repo-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("repo-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: the mpc crate root missing its unsafe-op deny attribute.
+
+pub mod router {}

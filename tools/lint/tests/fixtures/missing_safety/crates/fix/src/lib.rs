@@ -1,0 +1,15 @@
+//! Fixture: `unsafe` uses without `// SAFETY:` justifications.
+
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub struct RawPtr(pub *mut u8);
+
+unsafe impl Send for RawPtr {}
+
+pub fn documented(v: &[u8]) -> u8 {
+    // SAFETY: the caller passed a non-empty slice... except this fixture
+    // only demonstrates that a justified line is NOT flagged.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a hot message enum without its size const assert.
+
+pub enum Msg {
+    Degree(u64),
+    Offer { weight: u64, round: u32 },
+}

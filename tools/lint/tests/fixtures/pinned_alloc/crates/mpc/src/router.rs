@@ -1,0 +1,22 @@
+//! Fixture: allocation constructs in a zero-allocation-pinned module,
+//! with no allowlist covering them.
+
+pub fn route_hot_path() -> Vec<u64> {
+    let mut staged = Vec::new();
+    staged.push(1);
+    let also = staged.clone();
+    let padding = vec![0u64; 4];
+    staged.extend(also);
+    staged.extend(padding);
+    staged
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may allocate freely: not flagged.
+    #[test]
+    fn tests_are_exempt() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.clone(), v);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a clean pinned module whose allowlist still carries an entry
+//! for a line that no longer exists.
+
+pub fn route_hot_path(staged: &mut [u64]) {
+    staged.sort_unstable();
+}

@@ -1,0 +1,8 @@
+//! Fixture: the pool importing `std::sync` instead of the facade.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct PoolState {
+    pub lock: Mutex<usize>,
+    pub cv: Condvar,
+}

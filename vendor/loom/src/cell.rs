@@ -1,0 +1,98 @@
+//! A checked `UnsafeCell`: access is performed through `with`/`with_mut`
+//! closures, and every access is checked against a FastTrack-style
+//! read/write vector-clock pair. Two accesses to the same cell, at least
+//! one a write, with neither happening-before the other, are a data race
+//! — the execution fails with a replay seed, exactly like an assertion.
+//!
+//! Cell accesses are *not* scheduling points: the interleavings that
+//! matter are those of the surrounding synchronization, which the
+//! explorer already branches on, and the happens-before relation the
+//! clocks compute is schedule-independent for any schedule that reaches
+//! both accesses.
+
+use crate::rt::{self, VClock};
+use std::cell::UnsafeCell as StdUnsafeCell;
+use std::sync::Mutex as HostMutex;
+
+#[derive(Default)]
+struct AccessClocks {
+    reads: VClock,
+    writes: VClock,
+}
+
+/// Model-checked counterpart of `std::cell::UnsafeCell`.
+pub struct UnsafeCell<T: ?Sized> {
+    clocks: HostMutex<AccessClocks>,
+    data: StdUnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(value: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            clocks: HostMutex::new(AccessClocks::default()),
+            data: StdUnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Shared (read) access. Races with any concurrent write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.track(false);
+        f(self.data.get() as *const T)
+    }
+
+    /// Exclusive (write) access. Races with any concurrent access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.track(true);
+        f(self.data.get())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    fn track(&self, write: bool) {
+        rt::with_current_quiet(|g, tid| {
+            if g.aborting {
+                return;
+            }
+            let clock = g.threads[tid].clock;
+            let mut c = self.clocks.lock().unwrap_or_else(|e| e.into_inner());
+            let race = if write {
+                !c.reads.le(&clock) || !c.writes.le(&clock)
+            } else {
+                !c.writes.le(&clock)
+            };
+            if race {
+                drop(c);
+                let kind = if write { "write" } else { "read" };
+                g.fail(&format!(
+                    "data race: unsynchronized {kind} of an UnsafeCell by thread {tid}"
+                ));
+                return;
+            }
+            if write {
+                c.writes.join(&clock);
+                c.reads.join(&clock);
+            } else {
+                c.reads.join(&clock);
+            }
+        });
+        // Failing marked the execution aborting; unwind this thread now
+        // (unless it is already unwinding).
+        rt::abort_if_failing();
+    }
+}
+
+// SAFETY: like std's UnsafeCell, Send requires only T: Send; the model
+// serializes all real access on the token anyway.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: checked code asserts its own synchronization discipline (that
+// is what the race detector verifies); host-level access stays
+// token-serialized regardless.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}

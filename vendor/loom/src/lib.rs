@@ -1,0 +1,150 @@
+//! Offline stand-in for the `loom` model checker, built in-tree because
+//! the workspace's stable, no-network toolchain rules out both the real
+//! crate and Miri/TSan (see `rust-toolchain.toml` and the vendored-deps
+//! policy in the workspace README).
+//!
+//! # What it does
+//!
+//! [`model`] runs a closure many times, exploring the tree of thread
+//! interleavings depth-first. Threads are real OS threads but execute
+//! one at a time under a scheduler token; before every visible operation
+//! (atomic access, lock, condvar op, spawn/join) the explorer picks who
+//! runs next. Preemptive switches are bounded per execution
+//! ([`Builder::preemption_bound`], default 2) — the classic CHESS result
+//! is that almost all concurrency bugs manifest within two preemptions —
+//! so the schedule space stays tractable while exhaustively covering
+//! everything below the bound.
+//!
+//! Atomics simulate weak memory: loads branch over every store not ruled
+//! out by coherence or happens-before, so an ordering weakened from
+//! `Release` to `Relaxed` admits real stale-read executions and the
+//! checker finds them (see `sync::atomic`). Condvars have no timeouts
+//! and no spurious wakeups, so a lost wakeup becomes a detected
+//! deadlock. [`cell::UnsafeCell`] accesses are race-checked with vector
+//! clocks.
+//!
+//! # Failures and replay
+//!
+//! Any failure — assertion panic, deadlock, data race, livelock — stops
+//! exploration and panics with a **replay seed**: a hex string encoding
+//! every scheduler/memory decision of the failing execution. Re-running
+//! the same test with `LOOM_REPLAY=<seed>` replays exactly that
+//! schedule, turning a 1-in-10,000 interleaving into a deterministic
+//! unit test.
+//!
+//! # API-compatible subset
+//!
+//! `loom::model`, `loom::thread::{spawn, yield_now}`,
+//! `loom::sync::{Arc, Mutex, Condvar, atomic::*}`, `loom::cell::UnsafeCell`
+//! — the surface `vendor/rayon`'s `sync` facade swaps in under
+//! `cfg(loom)`.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cell;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Exploration statistics returned by [`Builder::check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct complete schedules explored.
+    pub schedules: u64,
+    /// True when exploration stopped at `max_iterations` rather than
+    /// exhausting the (bounded) schedule tree.
+    pub truncated: bool,
+}
+
+/// Configures and runs a model-checking session.
+///
+/// Environment overrides (all optional): `LOOM_MAX_PREEMPTIONS`,
+/// `LOOM_MAX_ITERATIONS`, `LOOM_MAX_BRANCHES`, and `LOOM_REPLAY` (a seed
+/// from a previous failure; runs exactly that one schedule).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum preemptive context switches per execution. Switches at
+    /// blocking points are free.
+    pub preemption_bound: usize,
+    /// Step budget per execution; exceeding it is reported as a livelock.
+    pub max_branches: usize,
+    /// Maximum schedules to explore before truncating.
+    pub max_iterations: u64,
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: env_parse("LOOM_MAX_PREEMPTIONS").unwrap_or(2),
+            max_branches: env_parse("LOOM_MAX_BRANCHES").unwrap_or(20_000),
+            max_iterations: env_parse("LOOM_MAX_ITERATIONS").unwrap_or(200_000),
+        }
+    }
+
+    /// Explores `f` under every schedule within the bounds. Panics on
+    /// the first failing schedule, printing its replay seed; otherwise
+    /// returns how much was explored.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let path = match std::env::var("LOOM_REPLAY") {
+            Ok(seed) => rt::Path::from_seed(&seed),
+            Err(_) => rt::Path::default(),
+        };
+        self.run(Arc::new(f), path)
+    }
+
+    /// Replays exactly the one schedule a failure seed encodes — the
+    /// programmatic form of `LOOM_REPLAY=<seed>`. Panics (like
+    /// [`check`](Self::check)) if that schedule fails.
+    pub fn replay<F>(&self, seed: &str, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.run(Arc::new(f), rt::Path::from_seed(seed))
+    }
+
+    fn run(&self, f: Arc<dyn Fn() + Send + Sync>, path: rt::Path) -> Report {
+        let cfg = rt::Config {
+            preemption_bound: self.preemption_bound,
+            max_branches: self.max_branches,
+        };
+        let outcome = rt::explore(f, cfg, self.max_iterations, path);
+        if let Some(failure) = outcome.failure {
+            eprintln!(
+                "loom: failing schedule found on iteration {} — replay with LOOM_REPLAY={}",
+                outcome.iterations, failure.seed
+            );
+            panic!(
+                "loom model failed: {} (replay seed {})",
+                failure.message, failure.seed
+            );
+        }
+        Report {
+            schedules: outcome.iterations,
+            truncated: outcome.truncated,
+        }
+    }
+}
+
+/// Checks `f` with the default [`Builder`]. Panics (with a replay seed)
+/// if any explored schedule fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

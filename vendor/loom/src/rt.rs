@@ -1,0 +1,671 @@
+//! The model-checking runtime: deterministic scheduling, the DFS schedule
+//! explorer, and the vector-clock machinery shared by every shim.
+//!
+//! # Execution model
+//!
+//! Each *iteration* of the explorer runs the user closure once, on real OS
+//! threads, but serialized by token passing: exactly one model thread holds
+//! the token (is `active`) at any moment; everyone else parks on the
+//! execution's host condvar. Before every visible operation (atomic access,
+//! mutex acquire, condvar op, spawn, join) the token holder reaches a
+//! *scheduling point* where the explorer decides who runs next. Decisions
+//! are recorded on a [`Path`]; between iterations the last not-yet-exhausted
+//! decision is advanced (depth-first), so the tree of schedules is walked
+//! exhaustively — up to the preemption bound and iteration cap.
+//!
+//! Serializing on a token means model threads never touch user data
+//! concurrently at the host level, so the checker itself cannot introduce
+//! undefined behavior no matter how broken the checked code's
+//! synchronization is; weak-memory effects are simulated instead (see
+//! `sync::atomic`).
+//!
+//! # Failure handling
+//!
+//! A failure (assertion panic in the model, deadlock, data race, livelock)
+//! records a replay seed and flips the execution into *abort* mode: the
+//! token is then passed from live thread to live thread, each of which
+//! unwinds via an [`AbortExecution`] panic that the thread wrappers
+//! swallow. Unwinding stays token-serialized, so destructors of user data
+//! also never run concurrently.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as HostOrdering};
+use std::sync::{Arc, Condvar as HostCondvar, Mutex as HostMutex, MutexGuard as HostGuard};
+
+/// Maximum model threads per execution (vector clocks are fixed-size).
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// An atomic load chooses among at most this many youngest visible stores,
+/// which keeps every branch arity below 16 — one hex digit per decision in
+/// the replay seed.
+pub(crate) const MAX_LOAD_CANDIDATES: usize = 15;
+
+/// Panic payload used to tear down the threads of an aborted execution;
+/// swallowed by the thread wrappers, never user-visible.
+pub(crate) struct AbortExecution;
+
+/// Allocator for model-object identities (mutexes, condvars).
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn new_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, HostOrdering::Relaxed)
+}
+
+// ── Vector clocks ──────────────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct VClock(pub(crate) [u32; MAX_THREADS]);
+
+impl VClock {
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// `self` happens-before-or-equals `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] <= other.0[i])
+    }
+
+    pub(crate) fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+}
+
+// ── The DFS path ───────────────────────────────────────────────────────
+
+#[derive(Clone, Copy)]
+struct Step {
+    chosen: u8,
+    options: u8,
+}
+
+/// The sequence of scheduler/memory decisions of one execution. A prefix
+/// is replayed from the previous iteration; past it, every new decision
+/// takes its default (index 0) and is recorded so [`Path::advance`] can
+/// bump it depth-first later.
+#[derive(Default)]
+pub(crate) struct Path {
+    steps: Vec<Step>,
+    pos: usize,
+    /// True when replaying a user-supplied seed: options counts in
+    /// `steps` are not trusted and the path must not be advanced.
+    replay: bool,
+}
+
+impl Path {
+    pub(crate) fn from_seed(seed: &str) -> Path {
+        let steps = seed
+            .trim()
+            .chars()
+            .map(|c| {
+                let chosen = c.to_digit(16).unwrap_or_else(|| {
+                    panic!("LOOM_REPLAY: invalid seed character {c:?} (want hex digits)")
+                }) as u8;
+                Step {
+                    chosen,
+                    options: chosen + 1,
+                }
+            })
+            .collect();
+        Path {
+            steps,
+            pos: 0,
+            replay: true,
+        }
+    }
+
+    /// The replay seed: one hex digit per recorded decision.
+    pub(crate) fn seed(&self) -> String {
+        self.steps
+            .iter()
+            .take(self.pos)
+            .map(|s| char::from_digit(s.chosen as u32, 16).unwrap_or('?'))
+            .collect()
+    }
+
+    fn branch(&mut self, options: usize) -> usize {
+        debug_assert!((2..=16).contains(&options));
+        if self.pos < self.steps.len() {
+            let step = &mut self.steps[self.pos];
+            self.pos += 1;
+            assert!(
+                (step.chosen as usize) < options,
+                "schedule replay diverged: recorded choice {} of {} options",
+                step.chosen,
+                options
+            );
+            step.options = options as u8;
+            step.chosen as usize
+        } else {
+            self.steps.push(Step {
+                chosen: 0,
+                options: options as u8,
+            });
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Rewinds to the start of the next unexplored schedule. Returns
+    /// false when the whole tree has been explored.
+    pub(crate) fn advance(&mut self) -> bool {
+        if self.replay {
+            return false;
+        }
+        self.steps.truncate(self.pos);
+        while let Some(last) = self.steps.last_mut() {
+            if last.chosen + 1 < last.options {
+                last.chosen += 1;
+                self.pos = 0;
+                return true;
+            }
+            self.steps.pop();
+        }
+        false
+    }
+}
+
+// ── Execution state ────────────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Run {
+    Ready,
+    BlockedMutex(u64),
+    BlockedCondvar(u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadSt {
+    pub(crate) run: Run,
+    pub(crate) clock: VClock,
+    /// Set by [`yield_now`]: the thread announced it is spinning on
+    /// another thread's progress. Schedulers deprioritize it until it
+    /// next receives the token (which clears the flag), so an unfair
+    /// "run the spinner forever" schedule is never explored.
+    pub(crate) yielded: bool,
+}
+
+#[derive(Clone)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_branches: usize,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Failure {
+    pub(crate) message: String,
+    pub(crate) seed: String,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadSt>,
+    pub(crate) active: usize,
+    path: Path,
+    preemptions: usize,
+    steps: usize,
+    pub(crate) sc_clock: VClock,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) aborting: bool,
+    cfg: Config,
+}
+
+impl ExecState {
+    /// Records a failure (first one wins) and flips into abort mode.
+    pub(crate) fn fail(&mut self, message: &str) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                message: message.to_string(),
+                seed: self.path.seed(),
+            });
+        }
+        self.aborting = true;
+    }
+
+    /// One explorer decision with `options` alternatives; 0 is the
+    /// default. Non-decisions (one option) and post-failure teardown are
+    /// never recorded.
+    pub(crate) fn branch(&mut self, options: usize) -> usize {
+        if self.aborting || options <= 1 {
+            return 0;
+        }
+        self.path.branch(options)
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.run == Run::Finished)
+    }
+}
+
+pub(crate) struct Execution {
+    mx: HostMutex<ExecState>,
+    cv: HostCondvar,
+}
+
+impl Execution {
+    pub(crate) fn new(path: Path, cfg: Config) -> Execution {
+        let mut root_clock = VClock::default();
+        root_clock.bump(0);
+        Execution {
+            mx: HostMutex::new(ExecState {
+                threads: vec![ThreadSt {
+                    run: Run::Ready,
+                    clock: root_clock,
+                    yielded: false,
+                }],
+                active: 0,
+                path,
+                preemptions: 0,
+                steps: 0,
+                sc_clock: VClock::default(),
+                failure: None,
+                aborting: false,
+                cfg,
+            }),
+            cv: HostCondvar::new(),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> HostGuard<'_, ExecState> {
+        self.mx.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks until this thread holds the token again. On wake into an
+    /// aborting execution, tears the thread down via [`AbortExecution`]
+    /// (unless it is already unwinding).
+    pub(crate) fn wait_for_token<'a>(
+        &'a self,
+        mut g: HostGuard<'a, ExecState>,
+        tid: usize,
+    ) -> HostGuard<'a, ExecState> {
+        while g.active != tid {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        // Receiving the token means the thread gets to re-check whatever
+        // it was spinning on; its yield deprioritization ends here.
+        g.threads[tid].yielded = false;
+        if g.aborting && !std::thread::panicking() {
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        g
+    }
+
+    /// A pre-operation scheduling point for the (Ready, token-holding)
+    /// thread `tid`: chooses who performs the next visible operation.
+    /// Returns with `tid` active again (i.e. after any preemption has run
+    /// its course).
+    pub(crate) fn schedule<'a>(
+        &'a self,
+        mut g: HostGuard<'a, ExecState>,
+        tid: usize,
+    ) -> HostGuard<'a, ExecState> {
+        debug_assert_eq!(g.active, tid);
+        debug_assert_eq!(g.threads[tid].run, Run::Ready);
+        g.steps += 1;
+        if g.steps > g.cfg.max_branches {
+            g.fail("livelock: execution exceeded the step budget");
+            self.cv.notify_all();
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        let mut order = Vec::with_capacity(g.threads.len());
+        order.push(tid);
+        // Yielded threads are not preemption targets: they announced they
+        // are spinning, so running them early only re-checks a condition
+        // nobody has changed yet. They run again via `pass_token` or a
+        // peer's yield.
+        order.extend(
+            (0..g.threads.len())
+                .filter(|&t| t != tid && g.threads[t].run == Run::Ready && !g.threads[t].yielded),
+        );
+        let options = if g.preemptions >= g.cfg.preemption_bound {
+            1
+        } else {
+            order.len()
+        };
+        let next = order[g.branch(options)];
+        if next != tid {
+            g.preemptions += 1;
+            g.active = next;
+            self.cv.notify_all();
+            g = self.wait_for_token(g, tid);
+        }
+        g
+    }
+
+    /// A voluntary yield of the (Ready, token-holding) thread `tid`: it
+    /// is marked [`ThreadSt::yielded`] and the token moves to another
+    /// Ready thread — preferring non-yielded ones — without consuming any
+    /// preemption budget. With no other Ready thread the yield is a
+    /// no-op. Spin loops annotated this way cannot monopolize the
+    /// schedule, yet a genuine livelock (every runnable thread spinning
+    /// with nothing to wake them) still walks into the step budget and is
+    /// reported.
+    pub(crate) fn yield_token<'a>(
+        &'a self,
+        mut g: HostGuard<'a, ExecState>,
+        tid: usize,
+    ) -> HostGuard<'a, ExecState> {
+        debug_assert_eq!(g.active, tid);
+        g.steps += 1;
+        if g.steps > g.cfg.max_branches {
+            g.fail("livelock: execution exceeded the step budget");
+            self.cv.notify_all();
+            drop(g);
+            panic::panic_any(AbortExecution);
+        }
+        let fresh: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| t != tid && g.threads[t].run == Run::Ready && !g.threads[t].yielded)
+            .collect();
+        let spinning: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| t != tid && g.threads[t].run == Run::Ready && g.threads[t].yielded)
+            .collect();
+        let order = if fresh.is_empty() { spinning } else { fresh };
+        if order.is_empty() {
+            return g;
+        }
+        g.threads[tid].yielded = true;
+        let next = order[g.branch(order.len())];
+        g.active = next;
+        self.cv.notify_all();
+        self.wait_for_token(g, tid)
+    }
+
+    /// Hands the token onward when the current thread can no longer run
+    /// (it blocked or finished). Detects deadlock: live threads but no
+    /// runnable one. In abort mode, passes the token to any live thread
+    /// so the teardown procession visits everyone.
+    pub(crate) fn pass_token(&self, g: &mut ExecState) {
+        if g.aborting {
+            if let Some(t) = (0..g.threads.len()).find(|&t| g.threads[t].run != Run::Finished) {
+                g.active = t;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let mut ready: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| g.threads[t].run == Run::Ready)
+            .collect();
+        if ready.iter().any(|&t| !g.threads[t].yielded) {
+            // Spinners wait their turn while some thread can make real
+            // progress; if everyone Ready has yielded they all stay in.
+            ready.retain(|&t| !g.threads[t].yielded);
+        }
+        if ready.is_empty() {
+            if !g.all_finished() {
+                let blocked: Vec<String> = g
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.run != Run::Finished)
+                    .map(|(i, t)| format!("thread {i} {:?}", t.run))
+                    .collect();
+                g.fail(&format!(
+                    "deadlock: every live thread is blocked ({})",
+                    blocked.join(", ")
+                ));
+                // Start the abort procession at some live thread.
+                if let Some(t) = (0..g.threads.len()).find(|&t| g.threads[t].run != Run::Finished) {
+                    g.active = t;
+                }
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let n = ready.len();
+        g.active = ready[g.branch(n)];
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut g = self.lock_state();
+        while !g.all_finished() {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+// ── Current-thread context ─────────────────────────────────────────────
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current model thread's execution handle and id.
+/// Panics if called from outside `loom::model`.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (exec, tid) = borrow
+            .as_ref()
+            .expect("loom primitive used outside loom::model");
+        f(exec, *tid)
+    })
+}
+
+/// Non-scheduling access to the execution state, for effects that are
+/// not scheduling points (mutex release, object creation, cell access
+/// tracking). Never panics on its own — callers run it from destructors
+/// during abort unwinding.
+pub(crate) fn with_current_quiet<R>(f: impl FnOnce(&mut ExecState, usize) -> R) -> R {
+    with_current(|exec, tid| {
+        let mut g = exec.lock_state();
+        f(&mut g, tid)
+    })
+}
+
+/// Tears the current thread down if the execution has failed (and the
+/// thread is not already unwinding). Used after quiet-mode effects that
+/// may themselves record a failure, e.g. the cell race detector.
+pub(crate) fn abort_if_failing() {
+    let aborting = with_current(|exec, _| exec.lock_state().aborting);
+    if aborting && !std::thread::panicking() {
+        panic::panic_any(AbortExecution);
+    }
+}
+
+/// One visible operation of the current thread: a scheduling point, then
+/// `op` under the execution lock while holding the token. During abort
+/// teardown the scheduling point is skipped and `op` still runs (with
+/// [`ExecState::branch`] pinned to defaults) so destructors see coherent
+/// state.
+pub(crate) fn synchronize<R>(op: impl FnOnce(&mut ExecState, usize) -> R) -> R {
+    with_current(|exec, tid| {
+        let mut g = exec.lock_state();
+        if g.aborting {
+            if !std::thread::panicking() {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            return op(&mut g, tid);
+        }
+        g = exec.schedule(g, tid);
+        op(&mut g, tid)
+    })
+}
+
+/// Like [`synchronize`], but the operation may need to block: `op`
+/// returns `Ok(result)` to complete, or `Err(())` after marking the
+/// thread blocked, in which case the token is passed on and `op` is
+/// retried once the thread is made Ready and scheduled again.
+pub(crate) fn synchronize_blocking<R>(
+    mut op: impl FnMut(&mut ExecState, usize) -> Result<R, ()>,
+) -> R {
+    with_current(|exec, tid| {
+        let mut g = exec.lock_state();
+        if g.aborting {
+            if !std::thread::panicking() {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            // Quiet mode: ops must not block; callers guarantee their
+            // blocking preconditions are waived when aborting.
+            return match op(&mut g, tid) {
+                Ok(r) => r,
+                Err(()) => unreachable!("blocking op refused to complete during abort"),
+            };
+        }
+        g = exec.schedule(g, tid);
+        loop {
+            match op(&mut g, tid) {
+                Ok(r) => return r,
+                Err(()) => {
+                    debug_assert_ne!(g.threads[tid].run, Run::Ready);
+                    exec.pass_token(&mut g);
+                    g = exec.wait_for_token(g, tid);
+                }
+            }
+        }
+    })
+}
+
+// ── Thread lifecycle ───────────────────────────────────────────────────
+
+/// Body of every model OS thread (including the root): waits for its
+/// first token, runs `f` under `catch_unwind`, then marks itself
+/// finished, wakes joiners, and passes the token on.
+pub(crate) fn thread_main(exec: Arc<Execution>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let run = {
+        let mut g = exec.lock_state();
+        while g.active != tid {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        !g.aborting
+    };
+    let result = if run {
+        panic::catch_unwind(AssertUnwindSafe(f))
+    } else {
+        Ok(())
+    };
+    let mut g = exec.lock_state();
+    match result {
+        Err(payload) if payload.is::<AbortExecution>() => {}
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            g.fail(&format!("thread {tid} panicked: {msg}"));
+        }
+        Ok(()) => {}
+    }
+    g.threads[tid].clock.bump(tid);
+    g.threads[tid].run = Run::Finished;
+    for t in 0..g.threads.len() {
+        if g.threads[t].run == Run::BlockedJoin(tid) {
+            g.threads[t].run = Run::Ready;
+        }
+    }
+    exec.pass_token(&mut g);
+    drop(g);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Registers a new model thread (spawn is a visible operation of the
+/// parent) and returns its id, or `None` when the thread budget is
+/// exhausted (the execution is then already failed and aborting).
+pub(crate) fn register_thread() -> Option<usize> {
+    synchronize(|g, tid| {
+        if g.threads.len() >= MAX_THREADS {
+            g.fail(&format!("model spawned more than {MAX_THREADS} threads"));
+            return None;
+        }
+        // The child inherits the parent's clock as of the spawn, then
+        // the parent bumps past it: parent events *after* the spawn are
+        // concurrent with the child, not ordered before it.
+        let mut child_clock = g.threads[tid].clock;
+        let child = g.threads.len();
+        child_clock.bump(child);
+        g.threads.push(ThreadSt {
+            run: Run::Ready,
+            clock: child_clock,
+            yielded: false,
+        });
+        g.threads[tid].clock.bump(tid);
+        Some(child)
+    })
+}
+
+pub(crate) fn current_execution() -> Arc<Execution> {
+    with_current(|exec, _| Arc::clone(exec))
+}
+
+/// `thread::yield_now`: a spin-loop annotation. The current thread is
+/// deprioritized until every other runnable thread has had a chance to
+/// run (see [`Execution::yield_token`]). No memory effect.
+pub(crate) fn yield_now() {
+    with_current(|exec, tid| {
+        let g = exec.lock_state();
+        if g.aborting {
+            if !std::thread::panicking() {
+                drop(g);
+                panic::panic_any(AbortExecution);
+            }
+            return;
+        }
+        let mut g = exec.yield_token(g, tid);
+        g.threads[tid].clock.bump(tid);
+    });
+}
+
+// ── The explorer driver ────────────────────────────────────────────────
+
+pub(crate) struct RunOutcome {
+    pub(crate) iterations: u64,
+    pub(crate) truncated: bool,
+    pub(crate) failure: Option<Failure>,
+}
+
+/// Runs the explorer: iterates schedules depth-first until the tree is
+/// exhausted, a failure is found, or `max_iterations` is hit.
+pub(crate) fn explore(
+    f: Arc<dyn Fn() + Send + Sync>,
+    cfg: Config,
+    max_iterations: u64,
+    mut path: Path,
+) -> RunOutcome {
+    let mut iterations = 0u64;
+    loop {
+        let exec = Arc::new(Execution::new(std::mem::take(&mut path), cfg.clone()));
+        let exec2 = Arc::clone(&exec);
+        let f2 = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-root".to_string())
+            .spawn(move || thread_main(exec2, 0, move || f2()))
+            .expect("spawn loom root thread");
+        exec.wait_all_finished();
+        let _ = root.join();
+        iterations += 1;
+        let mut g = exec.lock_state();
+        let failure = g.failure.take();
+        path = std::mem::take(&mut g.path);
+        drop(g);
+        if failure.is_some() {
+            return RunOutcome {
+                iterations,
+                truncated: false,
+                failure,
+            };
+        }
+        if !path.advance() {
+            return RunOutcome {
+                iterations,
+                truncated: false,
+                failure: None,
+            };
+        }
+        if iterations >= max_iterations {
+            return RunOutcome {
+                iterations,
+                truncated: true,
+                failure: None,
+            };
+        }
+    }
+}

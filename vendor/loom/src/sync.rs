@@ -1,0 +1,252 @@
+//! Model-checked synchronization primitives mirroring `std::sync`.
+//!
+//! `Arc` is re-exported from std unchanged: reference counting has no
+//! schedule-visible behavior worth modeling, and keeping the real type
+//! preserves `Arc::ptr_eq`-style identity semantics in checked code.
+//!
+//! `Mutex` and `Condvar` participate in the explorer: acquiring is a
+//! scheduling point that may block (deterministically), releasing
+//! publishes the holder's vector clock to the next acquirer, and condvar
+//! waits have **no spurious wakeups and no timeouts** — a thread that is
+//! never notified stays blocked, so a lost wakeup shows up as a detected
+//! deadlock instead of being papered over by a timeout.
+
+pub mod atomic;
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, TryLockError, TryLockResult};
+
+use crate::rt::{self, Run, VClock};
+use std::cell::UnsafeCell as StdUnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as HostMutex;
+
+// ── Mutex ──────────────────────────────────────────────────────────────
+
+struct MutexMeta {
+    owner: Option<usize>,
+    /// Vector clock released by the last unlock; joined by the next
+    /// acquirer (mutexes synchronize like release/acquire pairs).
+    clock: VClock,
+}
+
+/// A model-checked mutual-exclusion lock.
+pub struct Mutex<T: ?Sized> {
+    uid: u64,
+    meta: HostMutex<MutexMeta>,
+    data: StdUnsafeCell<T>,
+}
+
+// SAFETY: the model grants ownership to one thread at a time (and the
+// token serializes all model threads at the host level besides), so the
+// usual Mutex Send/Sync bounds apply.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — exclusive access is enforced by the model.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// Guard returned by [`Mutex::lock`]; unlocks (and publishes the
+/// holder's clock) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            uid: rt::new_object_id(),
+            meta: HostMutex::new(MutexMeta {
+                owner: None,
+                clock: VClock::default(),
+            }),
+            data: StdUnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let uid = self.uid;
+        rt::synchronize_blocking(|g, tid| {
+            let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+            if meta.owner.is_none() || g.aborting {
+                meta.owner = Some(tid);
+                let clock = meta.clock;
+                drop(meta);
+                g.threads[tid].clock.bump(tid);
+                g.threads[tid].clock.join(&clock);
+                Ok(())
+            } else {
+                drop(meta);
+                g.threads[tid].run = Run::BlockedMutex(uid);
+                Err(())
+            }
+        });
+        Ok(MutexGuard { lock: self })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+
+    /// Releases the lock: publishes the clock, clears ownership, and
+    /// readies blocked acquirers. Not a scheduling point (like a real
+    /// unlock, contention is resolved at the *acquirers'* schedule
+    /// points), and must never panic — it runs from guard drops during
+    /// abort unwinding.
+    fn unlock(&self) {
+        rt::with_current_quiet(|g, tid| self.unlock_effects(g, tid));
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the model granted this thread exclusive ownership of
+        // the mutex until the guard drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — ownership is exclusive for the guard's
+        // lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+// ── Condvar ────────────────────────────────────────────────────────────
+
+/// Result of [`Condvar::wait_timeout`]; the model never times out, so
+/// `timed_out()` is always false.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(());
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        false
+    }
+}
+
+/// A model-checked condition variable. Waiter order is FIFO and wakeups
+/// are never spurious, so every wakeup in a passing model is accounted
+/// for by a notify.
+pub struct Condvar {
+    uid: u64,
+    waiters: HostMutex<Vec<usize>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            uid: rt::new_object_id(),
+            waiters: HostMutex::new(Vec::new()),
+        }
+    }
+
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        // The wait itself releases the mutex (atomically with blocking,
+        // under the execution lock); the incoming guard must not unlock
+        // a second time when it goes out of scope.
+        let guard = std::mem::ManuallyDrop::new(guard);
+        let lock = guard.lock;
+        let uid = self.uid;
+        let mut enqueued = false;
+        rt::synchronize_blocking(|g, tid| {
+            if g.aborting {
+                return Ok(());
+            }
+            if !enqueued {
+                // First pass: atomically release the mutex and enqueue.
+                enqueued = true;
+                lock.unlock_effects(g, tid);
+                self.waiters
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(tid);
+                g.threads[tid].run = Run::BlockedCondvar(uid);
+                Err(())
+            } else {
+                // Woken by a notify; hand back Ok so the caller reacquires.
+                Ok(())
+            }
+        });
+        lock.lock()
+    }
+
+    /// Identical to [`wait`](Self::wait) in the model: there are no
+    /// timeouts, so code relying on the timeout (rather than a notify)
+    /// for liveness deadlocks under the checker — by design.
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match self.wait(guard) {
+            Ok(guard) => Ok((guard, WaitTimeoutResult(()))),
+            Err(poison) => {
+                let guard = poison.into_inner();
+                Ok((guard, WaitTimeoutResult(())))
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        rt::synchronize(|g, tid| {
+            g.threads[tid].clock.bump(tid);
+            let mut w = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            if !w.is_empty() {
+                let t = w.remove(0);
+                if g.threads[t].run == Run::BlockedCondvar(self.uid) {
+                    g.threads[t].run = Run::Ready;
+                }
+            }
+        });
+    }
+
+    pub fn notify_all(&self) {
+        rt::synchronize(|g, tid| {
+            g.threads[tid].clock.bump(tid);
+            let mut w = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            for t in w.drain(..) {
+                if g.threads[t].run == Run::BlockedCondvar(self.uid) {
+                    g.threads[t].run = Run::Ready;
+                }
+            }
+        });
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Unlock effects under an already-held execution lock (condvar wait
+    /// releases the mutex atomically with blocking).
+    fn unlock_effects(&self, g: &mut rt::ExecState, tid: usize) {
+        let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+        g.threads[tid].clock.bump(tid);
+        meta.clock.join(&g.threads[tid].clock);
+        meta.owner = None;
+        drop(meta);
+        let uid = self.uid;
+        for t in 0..g.threads.len() {
+            if g.threads[t].run == Run::BlockedMutex(uid) {
+                g.threads[t].run = Run::Ready;
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Model-checked atomics with a C11-approximating weak-memory simulation.
+//!
+//! Every atomic keeps its full **store history**. A load does not simply
+//! return the newest value: the explorer *branches over every visible
+//! store* — those not hidden by coherence (a thread never reads older
+//! than it already read) or by happens-before. Release stores carry the
+//! writer's vector clock; acquire loads that read them join it.
+//! `SeqCst` operations additionally join a global `sc_clock` in both
+//! directions, which makes fully-`SeqCst` code read the latest values —
+//! so weakening an ordering (e.g. `Release` → `Relaxed`) genuinely
+//! widens the set of explored outcomes, and stale reads that the
+//! weakened code admits are found, not assumed away.
+//!
+//! Read-modify-write operations always read the coherence-latest store
+//! (atomicity) and continue the release sequence of the store they
+//! replace, per C11.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{self, VClock, MAX_LOAD_CANDIDATES};
+use std::sync::Mutex as HostMutex;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_sc(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+struct Store {
+    value: u64,
+    /// Clock acquiring readers synchronize with; `None` for plain
+    /// relaxed stores (which also break any release sequence).
+    release: Option<VClock>,
+    writer: usize,
+    /// Writer's own clock component at the store, for happens-before
+    /// visibility tests.
+    wseq: u32,
+}
+
+struct AtomicState {
+    stores: Vec<Store>,
+    /// Per-thread coherence floor: index of the newest store each thread
+    /// has read or written (a thread never goes back before it).
+    last_seen: [usize; rt::MAX_THREADS],
+}
+
+/// Untyped core shared by all the atomic wrappers; values are widened to
+/// `u64`.
+struct AtomicCore {
+    state: HostMutex<AtomicState>,
+}
+
+impl AtomicCore {
+    fn new(value: u64) -> AtomicCore {
+        // Creation counts as a release store by the creating thread, so
+        // every thread that sees the atomic at all may read the initial
+        // value, and doing so synchronizes benignly.
+        let (writer, wseq, clock) = rt::with_current_quiet(|g, tid| {
+            g.threads[tid].clock.bump(tid);
+            (tid, g.threads[tid].clock.0[tid], g.threads[tid].clock)
+        });
+        AtomicCore {
+            state: HostMutex::new(AtomicState {
+                stores: vec![Store {
+                    value,
+                    release: Some(clock),
+                    writer,
+                    wseq,
+                }],
+                last_seen: [0; rt::MAX_THREADS],
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, AtomicState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        rt::synchronize(|g, tid| {
+            let mut a = self.lock();
+            if is_sc(order) {
+                let sc = g.sc_clock;
+                g.threads[tid].clock.join(&sc);
+            }
+            g.threads[tid].clock.bump(tid);
+            // Happens-before floor: the newest store this thread is
+            // guaranteed to see (any store hb-before us hides all older
+            // ones).
+            let mut floor = 0;
+            for (i, s) in a.stores.iter().enumerate().rev() {
+                if s.wseq <= g.threads[tid].clock.0[s.writer] {
+                    floor = i;
+                    break;
+                }
+            }
+            let lo = floor
+                .max(a.last_seen[tid])
+                .max(a.stores.len().saturating_sub(MAX_LOAD_CANDIDATES));
+            // Branch over the candidates, newest first (index 0 = the
+            // coherence-latest store, which is the only choice for
+            // SeqCst-vs-SeqCst code).
+            let n = a.stores.len() - lo;
+            let idx = a.stores.len() - 1 - g.branch(n);
+            a.last_seen[tid] = idx;
+            let s = &a.stores[idx];
+            let value = s.value;
+            if is_acquire(order) {
+                if let Some(rel) = s.release {
+                    g.threads[tid].clock.join(&rel);
+                }
+            }
+            if is_sc(order) {
+                let clock = g.threads[tid].clock;
+                g.sc_clock.join(&clock);
+            }
+            value
+        })
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        rt::synchronize(|g, tid| {
+            let mut a = self.lock();
+            if is_sc(order) {
+                let sc = g.sc_clock;
+                g.threads[tid].clock.join(&sc);
+            }
+            g.threads[tid].clock.bump(tid);
+            let release = is_release(order).then_some(g.threads[tid].clock);
+            let wseq = g.threads[tid].clock.0[tid];
+            a.stores.push(Store {
+                value,
+                release,
+                writer: tid,
+                wseq,
+            });
+            let idx = a.stores.len() - 1;
+            a.last_seen[tid] = idx;
+            if is_sc(order) {
+                let clock = g.threads[tid].clock;
+                g.sc_clock.join(&clock);
+            }
+        });
+    }
+
+    /// Atomic read-modify-write: reads the coherence-latest store,
+    /// writes `f(old)`, and continues the replaced store's release
+    /// sequence. Returns the old value.
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        rt::synchronize(|g, tid| {
+            let mut a = self.lock();
+            if is_sc(order) {
+                let sc = g.sc_clock;
+                g.threads[tid].clock.join(&sc);
+            }
+            g.threads[tid].clock.bump(tid);
+            let latest = a.stores.len() - 1;
+            let (old, prev_release) = {
+                let s = &a.stores[latest];
+                (s.value, s.release)
+            };
+            if is_acquire(order) {
+                if let Some(rel) = prev_release {
+                    g.threads[tid].clock.join(&rel);
+                }
+            }
+            let release = if is_release(order) {
+                let mut c = g.threads[tid].clock;
+                if let Some(prev) = prev_release {
+                    c.join(&prev);
+                }
+                Some(c)
+            } else {
+                prev_release
+            };
+            let wseq = g.threads[tid].clock.0[tid];
+            a.stores.push(Store {
+                value: f(old),
+                release,
+                writer: tid,
+                wseq,
+            });
+            let idx = a.stores.len() - 1;
+            a.last_seen[tid] = idx;
+            if is_sc(order) {
+                let clock = g.threads[tid].clock;
+                g.sc_clock.join(&clock);
+            }
+            old
+        })
+    }
+
+    /// Non-schedule-point read of the coherence-latest value, for
+    /// consuming the atomic by ownership.
+    fn unsync_load(&self) -> u64 {
+        let a = self.lock();
+        a.stores.last().map(|s| s.value).unwrap_or(0)
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty) => {
+        /// Model-checked counterpart of the std atomic of the same name.
+        pub struct $name {
+            core: AtomicCore,
+        }
+
+        impl $name {
+            pub fn new(value: $ty) -> $name {
+                $name {
+                    core: AtomicCore::new(value as u64),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.core.load(order) as $ty
+            }
+
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.core.store(value as u64, order);
+            }
+
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |_| value as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.core
+                    .rmw(order, |old| (old as $ty).wrapping_add(value) as u64) as $ty
+            }
+
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.core
+                    .rmw(order, |old| (old as $ty).wrapping_sub(value) as u64) as $ty
+            }
+
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |old| (old as $ty | value) as u64) as $ty
+            }
+
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |old| (old as $ty & value) as u64) as $ty
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.core.unsync_load() as $ty
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, usize);
+atomic_int!(AtomicU64, u64);
+atomic_int!(AtomicU32, u32);
+
+/// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    core: AtomicCore,
+}
+
+impl AtomicBool {
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            core: AtomicCore::new(value as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.core.load(order) != 0
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.core.store(value as u64, order);
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.core.rmw(order, |_| value as u64) != 0
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.core.unsync_load() != 0
+    }
+}

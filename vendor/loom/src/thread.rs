@@ -1,0 +1,92 @@
+//! Model-thread spawning and joining, mirroring `std::thread`'s surface.
+
+use crate::rt::{self, Run};
+use std::any::Any;
+use std::panic;
+use std::sync::{Arc, Mutex as HostMutex};
+
+/// Handle to a spawned model thread, compatible with the subset of
+/// `std::thread::JoinHandle` the workspace uses.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<HostMutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread. The closure runs under the explorer's schedule
+/// control; the backing OS thread is created fresh per iteration, so
+/// thread-locals in the checked code start clean every time.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = match rt::register_thread() {
+        Some(tid) => tid,
+        None => {
+            // Thread budget exceeded: the execution is already failed and
+            // aborting; tear this thread down.
+            panic::panic_any(rt::AbortExecution);
+        }
+    };
+    let slot = Arc::new(HostMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec = rt::current_execution();
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            rt::thread_main(exec, tid, move || {
+                let r = f();
+                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            })
+        })
+        .expect("spawn loom model thread");
+    JoinHandle {
+        tid,
+        slot,
+        os: Some(os),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish, then returns its
+    /// result — `Err` if it panicked, like `std::thread`. A panicking
+    /// model thread also fails the whole execution, so the `Err` arm is
+    /// mostly exercised during teardown.
+    pub fn join(mut self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        let target = self.tid;
+        rt::synchronize_blocking(|g, tid| {
+            if g.threads[target].run == Run::Finished || g.aborting {
+                g.threads[tid].clock.bump(tid);
+                let child_clock = g.threads[target].clock;
+                g.threads[tid].clock.join(&child_clock);
+                Ok(())
+            } else {
+                g.threads[tid].run = Run::BlockedJoin(target);
+                Err(())
+            }
+        });
+        // Join the backing OS thread too (it exits promptly once the
+        // model thread is Finished) — but never while unwinding through
+        // an abort, where other threads may still be parked.
+        if !std::thread::panicking() {
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+        }
+        match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom model thread panicked")),
+        }
+    }
+}
+
+/// A spin-loop annotation and scheduling point with no memory effect:
+/// the calling thread is deprioritized until the other runnable threads
+/// have had a chance to run. Busy-wait loops in checked code must call
+/// this (or a facade wrapping it) once per spin, or the explorer finds
+/// the unfair schedule that runs the spinner forever and reports a
+/// livelock.
+pub fn yield_now() {
+    rt::yield_now();
+}

@@ -68,14 +68,17 @@ pub unsafe trait ParallelSource: Sync {
 /// Raw pointer wrapper that may cross threads; used for disjoint
 /// index-addressed writes into preallocated buffers.
 struct SharedPtr<T>(*mut T);
+// SAFETY: the wrapper is only used for disjoint index-addressed writes
+// into buffers the driving frame owns; T: Send covers the item transfer.
 unsafe impl<T: Send> Send for SharedPtr<T> {}
+// SAFETY: as above — concurrent `at` calls target disjoint slots.
 unsafe impl<T: Send> Sync for SharedPtr<T> {}
 
 impl<T> SharedPtr<T> {
     /// Slot pointer at `index`. Taking `&self` (not the field) keeps
     /// closures capturing the whole Sync wrapper, not the raw pointer.
     fn at(&self, index: usize) -> *mut T {
-        // SAFETY bound: callers stay within the allocated capacity.
+        // SAFETY: callers stay within the allocated capacity.
         unsafe { self.0.add(index) }
     }
 }
@@ -121,6 +124,8 @@ where
         // SAFETY: one write per chunk index, capacity `chunks`.
         unsafe { base.at(c).write(fold_chunk(start..end)) };
     });
+    // SAFETY: every chunk slot was written (panics propagate out of
+    // run_chunks before this point).
     unsafe { partials.set_len(chunks) };
     partials
 }
@@ -285,8 +290,8 @@ pub trait ParallelIterator: ParallelSource + Sized {
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
     {
         let partials = chunk_partials(&self, &|range| {
-            // SAFETY: ranges partition the index space.
             range
+                // SAFETY: ranges partition the index space.
                 .map(|i| unsafe { self.produce(i) })
                 .fold(identity(), &op)
         });
@@ -307,13 +312,16 @@ pub struct SliceIter<'data, T> {
     slice: &'data [T],
 }
 
+// SAFETY: shared references may be produced any number of times; `len`
+// is exact.
 unsafe impl<'data, T: Sync> ParallelSource for SliceIter<'data, T> {
     type Item = &'data T;
     fn len(&self) -> usize {
         self.slice.len()
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        self.slice.get_unchecked(index)
+        // SAFETY: the trait contract bounds `index < len()`.
+        unsafe { self.slice.get_unchecked(index) }
     }
 }
 
@@ -343,13 +351,17 @@ pub struct SliceIterMut<'data, T> {
 // SAFETY: disjoint-index production hands out aliasing-free &mut.
 unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
 
+// SAFETY: `len` is exact; the at-most-once-per-index contract makes the
+// produced &mut references non-aliasing.
 unsafe impl<'data, T: Send> ParallelSource for SliceIterMut<'data, T> {
     type Item = &'data mut T;
     fn len(&self) -> usize {
         self.len
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        &mut *self.ptr.add(index)
+        // SAFETY: `index < len()` keeps the pointer in bounds, and the
+        // at-most-once contract prevents aliasing &mut to the same slot.
+        unsafe { &mut *self.ptr.add(index) }
     }
 }
 
@@ -384,21 +396,25 @@ pub struct VecIter<T> {
 // is all that crossing threads requires.
 unsafe impl<T: Send> Sync for VecIter<T> {}
 
+// SAFETY: `len` is exact; the at-most-once-per-index contract prevents
+// double-reading (double-dropping) any element.
 unsafe impl<T: Send> ParallelSource for VecIter<T> {
     type Item = T;
     fn len(&self) -> usize {
         self.vec.len()
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        std::ptr::read(self.vec.as_ptr().add(index))
+        // SAFETY: `index < len()` is in bounds, and the at-most-once
+        // contract means each element is moved out no more than once.
+        unsafe { std::ptr::read(self.vec.as_ptr().add(index)) }
     }
 }
 
 impl<T> Drop for VecIter<T> {
     fn drop(&mut self) {
-        // Free the buffer without dropping elements: produced ones moved
-        // out; unproduced ones (drive panicked mid-way) are leaked rather
-        // than risking a double drop.
+        // SAFETY: frees the buffer without dropping elements — produced
+        // ones moved out; unproduced ones (drive panicked mid-way) are
+        // leaked rather than risking a double drop.
         unsafe {
             self.vec.set_len(0);
             ManuallyDrop::drop(&mut self.vec);
@@ -424,6 +440,8 @@ pub struct RangeIter<T> {
 
 macro_rules! range_source {
     ($t:ty) => {
+        // SAFETY: `len` is exact and `produce` is pure arithmetic with no
+        // interior state, so any index discipline is trivially sound.
         unsafe impl ParallelSource for RangeIter<$t> {
             type Item = $t;
             fn len(&self) -> usize {
@@ -464,6 +482,8 @@ pub struct Map<S, F> {
     f: F,
 }
 
+// SAFETY: `len` delegates to the base source and the at-most-once index
+// discipline is forwarded unchanged, so the base's contract is upheld.
 unsafe impl<S, F, R> ParallelSource for Map<S, F>
 where
     S: ParallelSource,
@@ -475,7 +495,9 @@ where
         self.base.len()
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        (self.f)(self.base.produce(index))
+        // SAFETY: the caller's obligations (index < len, at most once per
+        // index) are exactly the base source's obligations.
+        (self.f)(unsafe { self.base.produce(index) })
     }
 }
 
@@ -485,6 +507,8 @@ pub struct Zip<A, B> {
     b: B,
 }
 
+// SAFETY: `len` is the min of the two sources, so a valid index for the
+// zip is valid for both; the at-most-once discipline is forwarded to each.
 unsafe impl<A, B> ParallelSource for Zip<A, B>
 where
     A: ParallelSource,
@@ -495,7 +519,11 @@ where
         self.a.len().min(self.b.len())
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        (self.a.produce(index), self.b.produce(index))
+        // SAFETY: index < min(a.len, b.len) ≤ each source's len, and each
+        // source sees the index at most once.
+        (unsafe { self.a.produce(index) }, unsafe {
+            self.b.produce(index)
+        })
     }
 }
 
@@ -504,13 +532,16 @@ pub struct Enumerate<S> {
     base: S,
 }
 
+// SAFETY: `len` delegates to the base source and the index discipline is
+// forwarded unchanged.
 unsafe impl<S: ParallelSource> ParallelSource for Enumerate<S> {
     type Item = (usize, S::Item);
     fn len(&self) -> usize {
         self.base.len()
     }
     unsafe fn produce(&self, index: usize) -> Self::Item {
-        (index, self.base.produce(index))
+        // SAFETY: the caller's obligations are exactly the base's.
+        (index, unsafe { self.base.produce(index) })
     }
 }
 

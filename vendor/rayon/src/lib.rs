@@ -37,9 +37,12 @@
 //! for caveats). Swapping in the real crate remains a one-line change in
 //! the root manifest's `[workspace.dependencies]`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod iter;
 mod pool;
 mod scope;
+mod sync;
 
 pub use pool::{current_num_threads, GlobalPoolAlreadyInitialized, ThreadPool, ThreadPoolBuilder};
 pub use scope::{join, scope, Scope};

@@ -22,11 +22,11 @@
 //! Reduction shapes are fixed by the caller (see `iter.rs`), never by the
 //! thread count.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 /// How long an idle thread sleeps before re-checking its wake condition.
@@ -52,12 +52,22 @@ pub(crate) struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    ///
+    /// `data` must stay valid until the job executes, and the caller
+    /// must arrange for the job to execute exactly once.
     pub(crate) unsafe fn new(data: *const (), exec: unsafe fn(*const ())) -> Self {
         Self { data, exec }
     }
 
+    /// # Safety
+    ///
+    /// Must be called at most once per `JobRef`, while the payload
+    /// behind `data` is still alive.
     pub(crate) unsafe fn execute(self) {
-        (self.exec)(self.data)
+        // SAFETY: forwarded contract — `new`'s caller guarantees the
+        // payload outlives this single execution.
+        unsafe { (self.exec)(self.data) }
     }
 }
 
@@ -162,17 +172,32 @@ impl PoolState {
     /// before notifying closes the check-then-sleep race in `park_unless`.
     pub(crate) fn notify_all(&self) {
         let _guard = lock_ignore_poison(&self.sleep_lock);
+        // Seeded mutation "drop-notify" (loom builds only): swallow the
+        // wakeup. The model-check suite must detect this as a deadlock —
+        // CI runs it to prove the suite has teeth.
+        #[cfg(loom)]
+        if sync::mutation("drop-notify") {
+            return;
+        }
         self.sleep_cv.notify_all();
     }
 
     /// Sleeps until notified (or the safety-net timeout), unless
-    /// `awake()` already holds under the sleep lock.
+    /// `awake()` already holds under the sleep lock. Under loom there is
+    /// no timeout: every wakeup must be notified, so a lost wakeup shows
+    /// up as a deadlock instead of hiding behind the safety net.
     fn park_unless(&self, awake: &dyn Fn() -> bool) {
         let guard = lock_ignore_poison(&self.sleep_lock);
         if awake() {
+            // `pending > 0` can be momentarily stale (a job was claimed
+            // but its decrement hasn't landed), so this branch may spin a
+            // few rounds before either finding work or really sleeping —
+            // announce the spin to the model checker.
+            drop(guard);
+            sync::yield_spin();
             return;
         }
-        let _ = self.sleep_cv.wait_timeout(guard, PARK_TIMEOUT);
+        drop(sync::condvar_wait_park(&self.sleep_cv, guard, PARK_TIMEOUT));
     }
 
     /// Executes queued jobs until `done()` holds. The workhorse behind
@@ -186,6 +211,9 @@ impl PoolState {
         });
         while !done() {
             match self.find_job(index) {
+                // SAFETY: a popped JobRef is executed exactly once, and
+                // its stack/heap payload is kept alive by the pushing
+                // frame until the job is known to have finished.
                 Some(job) => unsafe { job.execute() },
                 None => self.park_unless(&|| done() || self.pending.load(Ordering::SeqCst) > 0),
             }
@@ -196,6 +224,8 @@ impl PoolState {
         WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&self), index)));
         loop {
             while let Some(job) = self.find_job(Some(index)) {
+                // SAFETY: as in `wait_until` — each queued JobRef runs
+                // once while its payload is still alive.
                 unsafe { job.execute() };
             }
             if self.shutdown.load(Ordering::SeqCst) {
@@ -218,7 +248,8 @@ thread_local! {
 
 /// The pool the current thread's parallel operations run on: the thread's
 /// own pool if it is a worker, else the innermost `install`ed pool, else
-/// the lazily-built global pool.
+/// the lazily-built global pool (std builds only — model-checked code
+/// must always name its pool explicitly).
 pub(crate) fn current_state() -> Arc<PoolState> {
     if let Some(state) = WORKER.with(|w| w.borrow().as_ref().map(|(s, _)| Arc::clone(s))) {
         return state;
@@ -233,7 +264,7 @@ pub(crate) fn current_state() -> Arc<PoolState> {
 /// drain their queues).
 pub struct ThreadPool {
     state: Arc<PoolState>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<sync::JoinHandle>,
 }
 
 impl ThreadPool {
@@ -250,10 +281,9 @@ impl ThreadPool {
         let handles = (0..threads.saturating_sub(1))
             .map(|index| {
                 let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("rayon-worker-{index}"))
-                    .spawn(move || state.worker_main(index))
-                    .expect("spawn pool worker")
+                sync::spawn_named(format!("rayon-worker-{index}"), move || {
+                    state.worker_main(index)
+                })
             })
             .collect();
         Self { state, handles }
@@ -279,6 +309,13 @@ impl ThreadPool {
         }
         let _guard = PopGuard;
         f()
+    }
+
+    /// Queued-job count, for the model-checked quiescence assertion:
+    /// after a drive returns, nothing may remain queued.
+    #[cfg(loom)]
+    pub fn pending_jobs(&self) -> usize {
+        self.state.pending.load(Ordering::SeqCst)
     }
 }
 
@@ -340,7 +377,17 @@ impl ThreadPoolBuilder {
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
 fn global() -> &'static ThreadPool {
-    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    // A lazily-built process-global pool cannot work under the model
+    // checker: it would leak threads and schedule state across explored
+    // executions. Loom tests must `install` an explicit pool.
+    #[cfg(loom)]
+    {
+        panic!("the loom build has no global pool: run under ThreadPool::install");
+    }
+    #[cfg(not(loom))]
+    {
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
 }
 
 /// `RAYON_NUM_THREADS` if set to a positive integer, else the hardware
@@ -411,8 +458,14 @@ impl ChunkDrive<'_> {
     }
 }
 
+/// # Safety
+///
+/// `data` must point to a live `ChunkDrive` whose frame outlives this
+/// call (guaranteed by `run_chunks` waiting on `done()`).
 unsafe fn chunk_runner(data: *const ()) {
-    let drive = &*(data as *const ChunkDrive<'_>);
+    // SAFETY: `run_chunks` keeps the ChunkDrive frame alive until
+    // `done()`, which requires this runner's `exited` increment below.
+    let drive = unsafe { &*(data as *const ChunkDrive<'_>) };
     // The exited increment may complete `done()`, letting the driving
     // thread return and pop the stack frame holding the ChunkDrive — so
     // the pool handle must be cloned out *before* publishing, and the

@@ -7,12 +7,23 @@
 //! the forking caller after all of its obligations have finished.
 
 use crate::pool::{current_state, JobRef, PoolState};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, UnsafeCell};
 use std::any::Any;
-use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+
+/// Ordering of the `done` publication store in `StackJob`. Normally
+/// `SeqCst`; the loom-only seeded mutation "weaken-done-store" drops it
+/// to `Relaxed`, which the model-check suite must flag as a data race on
+/// the result cell — CI runs that to prove the suite has teeth.
+fn done_store_ordering() -> Ordering {
+    #[cfg(loom)]
+    if crate::sync::mutation("weaken-done-store") {
+        return Ordering::Relaxed;
+    }
+    Ordering::SeqCst
+}
 
 fn store_first_panic(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
     slot.lock()
@@ -38,16 +49,32 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    /// # Safety
+    ///
+    /// `data` must point to a live `StackJob` and be executed at most
+    /// once (guaranteed by `join` waiting on `done`).
     unsafe fn execute_shim(data: *const ()) {
-        let job = &*(data as *const Self);
-        let func = (*job.func.get()).take().expect("job executed twice");
+        // SAFETY: `join` keeps the StackJob frame alive until the `done`
+        // store below, and pushes exactly one JobRef for it.
+        let job = unsafe { &*(data as *const Self) };
+        let func = job
+            .func
+            .with_mut(|f| {
+                // SAFETY: the executor owns `func` until it publishes
+                // `done`; the forking thread never touches it after push.
+                unsafe { (*f).take() }
+            })
+            .expect("job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
-        *job.result.get() = Some(result);
+        job.result.with_mut(|r| {
+            // SAFETY: same protocol — exclusive until the `done` store.
+            unsafe { *r = Some(result) }
+        });
         // Setting `done` lets the forking thread return from `join` and
         // pop the stack frame holding this job — clone the pool handle
         // out first and never touch `job` after the store.
         let state = Arc::clone(&job.state);
-        job.done.store(true, Ordering::SeqCst);
+        job.done.store(true, done_store_ordering());
         state.notify_all();
     }
 }
@@ -82,8 +109,14 @@ where
     }]);
     let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
     state.wait_until(&|| job.done.load(Ordering::SeqCst));
-    // SAFETY: `done` was set with SeqCst after the result write.
-    let rb = unsafe { (*job.result.get()).take().expect("sibling finished") };
+    let rb = job
+        .result
+        .with_mut(|r| {
+            // SAFETY: `done` was set with SeqCst after the result write,
+            // and the executor never touches the job after that store.
+            unsafe { (*r).take() }
+        })
+        .expect("sibling finished");
     match (ra, rb) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(p), _) => panic::resume_unwind(p),
@@ -109,8 +142,9 @@ struct HeapJob<'scope> {
 }
 
 /// Send-able wrapper for the scope pointer captured by spawned closures.
-/// Safety: the pointee outlives every spawned task (see [`scope`]).
 struct ScopePtr<'scope>(*const Scope<'scope>);
+// SAFETY: the pointee outlives every spawned task (see [`scope`]), and
+// the `Scope` API itself is `&self`-threadsafe.
 unsafe impl Send for ScopePtr<'_> {}
 
 impl<'scope> ScopePtr<'scope> {
@@ -121,12 +155,16 @@ impl<'scope> ScopePtr<'scope> {
     }
 }
 
+/// # Safety
+///
+/// `data` must come from `Box::into_raw` on a `HeapJob` and be executed
+/// exactly once, while its scope is still alive.
 unsafe fn heap_job_shim(data: *const ()) {
     // SAFETY: constructed from Box::into_raw in `spawn`; executed once.
-    // The scope outlives execution because `scope()` waits for pending=0,
-    // which this shim decrements only at the very end.
-    let job: Box<HeapJob<'_>> = Box::from_raw(data as *mut HeapJob<'_>);
-    let scope = &*job.scope;
+    let job: Box<HeapJob<'_>> = unsafe { Box::from_raw(data as *mut HeapJob<'_>) };
+    // SAFETY: the scope outlives execution because `scope()` waits for
+    // pending=0, which this shim decrements only at the very end.
+    let scope = unsafe { &*job.scope };
     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job.func)) {
         store_first_panic(&scope.panic, payload);
     }
@@ -154,14 +192,16 @@ impl<'scope> Scope<'scope> {
         let this = ScopePtr(self as *const Scope<'scope>);
         let scope_ptr = this.0;
         let job = Box::new(HeapJob {
+            // SAFETY: the scope outlives every spawned task (`scope()`
+            // waits for pending=0), so the pointer stays valid.
             func: Box::new(move || body(unsafe { &*this.get() })),
             scope: scope_ptr,
         });
         let data = Box::into_raw(job) as *const ();
         // SAFETY: `scope()` waits for `pending == 0` before returning, so
         // the erased 'scope borrows stay valid for the job's lifetime.
-        self.state
-            .push_jobs([unsafe { JobRef::new(data, heap_job_shim) }]);
+        let job_ref = unsafe { JobRef::new(data, heap_job_shim) };
+        self.state.push_jobs([job_ref]);
     }
 }
 

@@ -1,0 +1,128 @@
+//! Synchronization facade for the pool: `std::sync` in normal builds,
+//! the `loom` model-checking shims under `RUSTFLAGS="--cfg loom"`.
+//!
+//! `pool.rs` and `scope.rs` must import every synchronization primitive
+//! through this module and never from `std::sync` directly — otherwise
+//! the loom suite silently stops covering the real code. `repo-lint`
+//! (tools/lint) enforces that rule, and the ROADMAP's round-pipelining
+//! item depends on it: any future scheduler rework is expected to land
+//! with its interleavings model-checked through this facade.
+//!
+//! The handful of intentional std/loom differences are wrapped here
+//! rather than scattered through the pool:
+//!
+//! * [`UnsafeCell`] exposes loom's closure-based `with`/`with_mut` API
+//!   in both modes, so cell accesses are race-checked under the model.
+//! * [`condvar_wait_park`] is `wait_timeout` on std (the pool's 100ms
+//!   safety net) but a plain `wait` under loom: the model has no time,
+//!   so a wakeup that only ever arrives via the timeout — a lost-wakeup
+//!   bug — becomes a detected deadlock instead of a silent stall.
+//! * [`spawn_named`] drops the thread name under loom (model threads
+//!   are scheduler-owned).
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+pub(crate) use std::sync::OnceLock;
+
+use std::time::Duration;
+
+/// Waits on `cv` until notified, or until `timeout` as a safety net
+/// (std builds only — under loom every wakeup must come from a notify).
+pub(crate) fn condvar_wait_park<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    #[cfg(not(loom))]
+    {
+        match cv.wait_timeout(guard, timeout) {
+            Ok((g, _)) => g,
+            Err(poison) => poison.into_inner().0,
+        }
+    }
+    #[cfg(loom)]
+    {
+        let _ = timeout;
+        match cv.wait(guard) {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+/// Spawns an OS thread (std) or a model thread (loom). The name is
+/// advisory and only applied on std.
+pub(crate) fn spawn_named<F>(name: String, f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    #[cfg(not(loom))]
+    {
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .expect("spawn pool worker")
+    }
+    #[cfg(loom)]
+    {
+        let _ = name;
+        loom::thread::spawn(f)
+    }
+}
+
+#[cfg(not(loom))]
+pub(crate) type JoinHandle = std::thread::JoinHandle<()>;
+#[cfg(loom)]
+pub(crate) type JoinHandle = loom::thread::JoinHandle<()>;
+
+/// The pool's interior-mutability cell: loom's closure-based API in both
+/// modes, so every access is a race-detection point under the model.
+#[cfg(not(loom))]
+pub(crate) struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(loom))]
+impl<T> UnsafeCell<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Self(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Kept for API parity with `loom::cell::UnsafeCell` even when the
+    /// pool itself only needs `with_mut`.
+    #[allow(dead_code)]
+    pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}
+
+#[cfg(loom)]
+pub(crate) use loom::cell::UnsafeCell;
+
+/// Spin-loop annotation for help-first wait loops: a no-op CPU hint on
+/// std, but under loom it tells the model checker the current thread is
+/// waiting on another thread's progress, so the explorer never charges
+/// the schedule tree with "run the spinner forever" interleavings (which
+/// would be reported as livelocks despite OS fairness resolving them in
+/// real runs).
+pub(crate) fn yield_spin() {
+    #[cfg(not(loom))]
+    std::hint::spin_loop();
+    #[cfg(loom)]
+    loom::thread::yield_now();
+}
+
+/// Whether a named seeded mutation is active. Mutations are compiled in
+/// only under loom and switched at runtime via `LOOM_MUTATE=<name>`;
+/// CI's model-check job uses them to prove the suite actually fails
+/// when a wakeup is dropped or an ordering is weakened.
+#[cfg(loom)]
+pub(crate) fn mutation(name: &str) -> bool {
+    std::env::var("LOOM_MUTATE").map_or(false, |v| v == name)
+}

