@@ -8,6 +8,7 @@
 //! experiments rounds --executor roundcompress   # one executor's trajectory
 //! experiments compress              # executor head-to-head report
 //! experiments bench --quick         # benchmark matrix -> BENCH_core.json
+//! experiments bench --quick --scheduler pipelined   # pipelined host rounds
 //! experiments bench --out B.json    # choose the output path
 //! experiments bench --repeat 5      # min-of-5 wall-clock (stable timing)
 //! experiments bench --quick --graph g.col       # add file workloads
@@ -21,6 +22,7 @@
 // workspace keeps the `clippy::exit` deny.
 #![allow(clippy::exit)]
 
+use mpc_sim::RoundScheduler;
 use mwvc_bench::experiments::ExpOptions;
 use mwvc_bench::harness::{self, BenchSuite, ExecutorKind};
 use mwvc_bench::{experiments, Table};
@@ -41,6 +43,7 @@ struct Options {
     /// Whether `--executor` appeared at all (including `both`), so the
     /// flag is rejected — never silently ignored — where inapplicable.
     executor_set: bool,
+    scheduler: Option<RoundScheduler>,
     list: bool,
 }
 
@@ -114,6 +117,19 @@ fn main() {
                     }));
                 }
             }
+            "--scheduler" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--scheduler needs a mode"));
+                opt.scheduler = Some(match name.as_str() {
+                    "barrier" => RoundScheduler::Barrier,
+                    "pipelined" => RoundScheduler::Pipelined,
+                    other => usage(&format!(
+                        "unknown scheduler {other:?}; known: \"barrier\", \"pipelined\""
+                    )),
+                });
+            }
             "--quick" => opt.quick = true,
             "--full" => opt.full = true,
             "--list" => opt.list = true,
@@ -176,6 +192,15 @@ fn run_bench(opt: &Options) {
             matrix.len()
         );
     }
+    if let Some(s) = opt.scheduler {
+        for w in &mut matrix {
+            w.scheduler = s;
+        }
+        eprintln!(
+            "[bench] --scheduler {s:?}: gated fields stay identical to barrier mode; \
+             only wall-clock columns may differ"
+        );
+    }
     let repeat = opt.repeat.unwrap_or(1);
     if repeat > 1 {
         eprintln!("[bench] --repeat {repeat}: reporting min-of-{repeat} wall-clock per workload");
@@ -196,8 +221,17 @@ fn run_bench(opt: &Options) {
 /// Classic experiment tables (`e01`..`e13`, `scaling`, `rounds`,
 /// `compress`, `all`).
 fn run_tables(opt: &Options) {
-    if opt.quick || opt.full || opt.out.is_some() || opt.graph.is_some() || opt.repeat.is_some() {
-        usage("--quick/--full/--out/--graph/--repeat apply to the 'bench' subcommand only");
+    if opt.quick
+        || opt.full
+        || opt.out.is_some()
+        || opt.graph.is_some()
+        || opt.repeat.is_some()
+        || opt.scheduler.is_some()
+    {
+        usage(
+            "--quick/--full/--out/--graph/--repeat/--scheduler apply to the 'bench' \
+             subcommand only",
+        );
     }
     if opt.ids.is_empty() {
         usage("no experiments selected");
@@ -285,7 +319,7 @@ fn print_usage() {
     );
     eprintln!(
         "       experiments bench [--quick | --full] [--out PATH] [--threads N] \
-         [--executor NAME|both] [--graph FILE] [--repeat N]"
+         [--executor NAME|both] [--scheduler barrier|pipelined] [--graph FILE] [--repeat N]"
     );
     eprintln!("       experiments --list");
 }

@@ -10,10 +10,15 @@
 //! * **wall-clock** is reported but not gated unless a tolerance is
 //!   supplied (`--wall-tolerance FRACTION`), because CI hardware noise
 //!   would make a hard wall gate flaky.
+//! * **critical-path statistics** follow the wall-clock policy
+//!   (`--cp-tolerance FRACTION` to gate): they are deterministic, but
+//!   they measure the host execution engine, not the paper's cost model,
+//!   so drift there is an engine-scheduling change to review — reported
+//!   as an ungated note by default.
 //! * structural drift (schema version, workload set, instance shape)
 //!   also fails: a stale baseline must be refreshed, not ignored.
 
-use crate::schema::{BenchReport, ModelCosts, Quality};
+use crate::schema::{BenchReport, CriticalPathStats, ModelCosts, Quality};
 use crate::table::Table;
 
 /// Comparator options.
@@ -23,6 +28,10 @@ pub struct DiffOptions {
     /// fails when a workload got >50% slower). `None` (default): report
     /// wall-clock drift but never gate on it.
     pub wall_tolerance: Option<f64>,
+    /// Allowed fractional growth of each critical-path statistic
+    /// (`barrier_makespan`, `pipelined_makespan`, `barrier_stall`).
+    /// `None` (default): report drift as a note but never gate on it.
+    pub cp_tolerance: Option<f64>,
 }
 
 /// How a finding reads on the regression table.
@@ -69,7 +78,8 @@ pub struct DiffResult {
     pub findings: Vec<Finding>,
     /// Workloads compared on both sides.
     pub compared: usize,
-    /// Ungated wall-clock observations worth a human glance (>25% drift).
+    /// Ungated observations worth a human glance: wall-clock drift above
+    /// 25% and any critical-path drift (when no tolerance gates them).
     pub wall_notes: Vec<String>,
 }
 
@@ -126,7 +136,7 @@ impl DiffResult {
             out.push_str(&t.render());
         }
         if !self.wall_notes.is_empty() {
-            out.push_str("\nwall-clock drift (not gated):\n");
+            out.push_str("\nungated drift (wall-clock, critical path):\n");
             for note in &self.wall_notes {
                 out.push_str(&format!("  {note}\n"));
             }
@@ -209,6 +219,42 @@ fn diff_quality(findings: &mut Vec<Finding>, id: &str, base: &Quality, cand: &Qu
     }
 }
 
+/// Critical-path statistics: deterministic, but a property of the host
+/// execution engine rather than the model, so they follow the wall-clock
+/// policy — gated only under an explicit tolerance, with every drift
+/// noted (determinism means any change is a real scheduling change).
+fn diff_critical_path(
+    findings: &mut Vec<Finding>,
+    notes: &mut Vec<String>,
+    id: &str,
+    base: &CriticalPathStats,
+    cand: &CriticalPathStats,
+    tolerance: Option<f64>,
+) {
+    for &field in CriticalPathStats::FIELDS {
+        let (b, c) = (base.field(field), cand.field(field));
+        if b == c {
+            continue;
+        }
+        let gated = match tolerance {
+            Some(tol) => c as f64 > b as f64 * (1.0 + tol),
+            None => false,
+        };
+        if gated {
+            push(
+                findings,
+                id,
+                &format!("critical_path.{field}"),
+                b,
+                format!("{c} (> +{:.0}%)", tolerance.unwrap_or(0.0) * 100.0),
+                FindingKind::Regression,
+            );
+        } else {
+            notes.push(format!("{id}: critical_path.{field} {b} -> {c}"));
+        }
+    }
+}
+
 /// Compares `candidate` against `baseline` under `opts`.
 pub fn diff_reports(
     baseline: &BenchReport,
@@ -286,6 +332,14 @@ pub fn diff_reports(
         }
         diff_model(&mut findings, &b.id, &b.model, &c.model);
         diff_quality(&mut findings, &b.id, &b.quality, &c.quality);
+        diff_critical_path(
+            &mut findings,
+            &mut wall_notes,
+            &b.id,
+            &b.critical_path,
+            &c.critical_path,
+            opts.cp_tolerance,
+        );
 
         // Wall clock: gated only on request, noted above 25% drift.
         let (bw, cw) = (b.wall_clock_s, c.wall_clock_s);
@@ -500,10 +554,52 @@ mod tests {
             &cand,
             DiffOptions {
                 wall_tolerance: Some(0.5),
+                ..DiffOptions::default()
             },
         );
         assert!(!gated.is_clean());
         assert_eq!(gated.findings[0].field, "wall_clock_s");
+    }
+
+    #[test]
+    fn critical_path_only_gates_with_tolerance() {
+        let base = synthetic_report();
+        let mut cand = base.clone();
+        cand.workloads[0].critical_path.pipelined_makespan += 100;
+        let ungated = diff_reports(&base, &cand, DiffOptions::default());
+        assert!(ungated.is_clean(), "{:?}", ungated.findings);
+        assert!(
+            ungated
+                .wall_notes
+                .iter()
+                .any(|n| n.contains("critical_path.pipelined_makespan")),
+            "deterministic drift is always noted: {:?}",
+            ungated.wall_notes
+        );
+        let gated = diff_reports(
+            &base,
+            &cand,
+            DiffOptions {
+                cp_tolerance: Some(0.1),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!gated.is_clean());
+        assert_eq!(gated.findings[0].field, "critical_path.pipelined_makespan");
+        assert_eq!(gated.findings[0].kind, FindingKind::Regression);
+        // A shrink (improvement) never gates, only notes.
+        let mut faster = base.clone();
+        faster.workloads[0].critical_path.barrier_stall = 10;
+        let d = diff_reports(
+            &base,
+            &faster,
+            DiffOptions {
+                cp_tolerance: Some(0.1),
+                ..DiffOptions::default()
+            },
+        );
+        assert!(d.is_clean(), "{:?}", d.findings);
+        assert_eq!(d.wall_notes.len(), 1);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //! sampling, iteration schedules); if a runner-image upgrade ever shifts
 //! those, the gate fails loudly and the fix is a baseline refresh.
 
-use crate::schema::{BenchReport, ModelCosts, Quality, WorkloadReport, SCHEMA_VERSION};
+use crate::schema::{
+    BenchReport, CriticalPathStats, ModelCosts, Quality, WorkloadReport, SCHEMA_VERSION,
+};
 use crate::table::{f, Table};
+use mpc_sim::RoundScheduler;
 use mwvc_baselines::{bar_yehuda_even, greedy_ratio_cover, lp_optimum};
 use mwvc_core::mpc::{DistributedExecutor, Executor, MpcMwvcConfig};
 use mwvc_graph::{EdgeIndex, GraphPreset, WeightModel, WeightedGraph};
@@ -93,14 +96,15 @@ impl ExecutorKind {
         ExecutorKind::all().into_iter().find(|k| k.label() == name)
     }
 
-    /// Builds the executor for one workload run.
-    pub fn build(&self, epsilon: f64, seed: u64) -> Box<dyn Executor> {
+    /// Builds the executor for one workload run, under `scheduler` for
+    /// the host cluster's round execution.
+    pub fn build(&self, epsilon: f64, seed: u64, scheduler: RoundScheduler) -> Box<dyn Executor> {
         match self {
             ExecutorKind::Distributed => Box::new(DistributedExecutor::new(
-                MpcMwvcConfig::practical(epsilon, seed),
+                MpcMwvcConfig::practical(epsilon, seed).with_scheduler(scheduler),
             )),
             ExecutorKind::RoundCompress => Box::new(RoundCompressExecutor::new(
-                RoundCompressConfig::practical(epsilon, seed),
+                RoundCompressConfig::practical(epsilon, seed).with_scheduler(scheduler),
             )),
         }
     }
@@ -124,6 +128,11 @@ pub struct BenchWorkload {
     pub tier_n: usize,
     /// Executor that runs the workload.
     pub executor: ExecutorKind,
+    /// Host round scheduler for the executor's cluster. Deliberately
+    /// **not** part of the workload id: every gated field is bit-identical
+    /// across schedulers, so reports generated in either mode diff
+    /// cleanly against the same baseline (the CI perf-gate runs both).
+    pub scheduler: RoundScheduler,
 }
 
 impl BenchWorkload {
@@ -179,6 +188,7 @@ pub fn workload_matrix(suite: BenchSuite) -> Vec<BenchWorkload> {
                             epsilon,
                             tier_n: n,
                             executor,
+                            scheduler: RoundScheduler::Barrier,
                         });
                     }
                 }
@@ -218,6 +228,7 @@ pub fn file_workloads(path: &str) -> Result<Vec<BenchWorkload>, String> {
                 epsilon,
                 tier_n: 0, // unknown until loaded; reports carry the real n
                 executor,
+                scheduler: RoundScheduler::Barrier,
             });
         }
     }
@@ -296,7 +307,7 @@ pub fn run_on_instance_repeat(
 ) -> WorkloadReport {
     assert!(repeat >= 1, "repeat must be at least 1");
     let algo_seed = BENCH_BASE_SEED ^ fnv1a(&w.id);
-    let exec = w.executor.build(w.epsilon, algo_seed);
+    let exec = w.executor.build(w.epsilon, algo_seed, w.scheduler);
     let mut wall_clock_s = f64::INFINITY;
     let mut outcome = None;
     for _ in 0..repeat {
@@ -341,7 +352,13 @@ pub fn run_on_instance_repeat(
             greedy_weight: ctx.greedy_weight,
             bye_weight: ctx.bye_weight,
         },
+        critical_path: CriticalPathStats {
+            barrier_makespan: outcome.critical_path.barrier_makespan as i64,
+            pipelined_makespan: outcome.critical_path.pipelined_makespan as i64,
+            barrier_stall: outcome.critical_path.barrier_stall as i64,
+        },
         wall_clock_s,
+        round_wall_s: outcome.round_wall,
     }
 }
 
@@ -455,7 +472,7 @@ mod tests {
         for k in ExecutorKind::all() {
             assert_eq!(ExecutorKind::from_name(k.label()), Some(k));
             // The kind's label agrees with the executor's own name.
-            assert_eq!(k.build(0.1, 1).name(), k.label());
+            assert_eq!(k.build(0.1, 1, RoundScheduler::Barrier).name(), k.label());
         }
         assert_eq!(ExecutorKind::from_name("bogus"), None);
     }
@@ -495,6 +512,7 @@ mod tests {
                 epsilon: 0.0625,
                 tier_n: 256,
                 executor,
+                scheduler: RoundScheduler::Barrier,
             };
             let r = run_workload(&w);
             assert_eq!(r.executor, executor.label());
@@ -507,10 +525,54 @@ mod tests {
             assert!(r.quality.cover_weight >= r.quality.lp_bound - 1e-9);
             assert!(r.quality.ratio_vs_lp >= 1.0 - 1e-9);
             assert!(r.quality.certified_ratio >= 1.0 - 1e-9);
+            // The critical-path statistic covers every round and never
+            // has the pipelined makespan exceed the barrier one.
+            assert!(r.critical_path.barrier_makespan > 0);
+            assert!(r.critical_path.pipelined_makespan <= r.critical_path.barrier_makespan);
+            assert_eq!(r.round_wall_s.len() as i64, r.model.mpc_rounds);
             // Model costs and quality are reproducible bit-for-bit.
             let r2 = run_workload(&w);
             assert_eq!(r.model, r2.model);
             assert_eq!(r.quality, r2.quality);
+            assert_eq!(r.critical_path, r2.critical_path);
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_on_every_gated_and_deterministic_field() {
+        // The scheduler axis must be invisible to everything but host
+        // wall-clock: same workload, both modes, identical model costs,
+        // quality, and critical-path statistics.
+        for executor in ExecutorKind::all() {
+            let mk = |scheduler| BenchWorkload {
+                id: format!("gnm-uniform-eps4-n256-sched-{}", executor.label()),
+                preset: GraphPreset::Gnm {
+                    n: 256,
+                    avg_degree: 16,
+                },
+                weights_label: "uniform",
+                weights: WeightModel::Uniform { lo: 1.0, hi: 10.0 },
+                epsilon: 0.25,
+                tier_n: 256,
+                executor,
+                scheduler,
+            };
+            let barrier = run_workload(&mk(RoundScheduler::Barrier));
+            let pipelined = run_workload(&mk(RoundScheduler::Pipelined));
+            assert_eq!(barrier.model, pipelined.model, "{}", executor.label());
+            assert_eq!(barrier.quality, pipelined.quality, "{}", executor.label());
+            assert_eq!(
+                barrier.critical_path,
+                pipelined.critical_path,
+                "{}",
+                executor.label()
+            );
+            assert_eq!(
+                barrier.round_wall_s.len(),
+                pipelined.round_wall_s.len(),
+                "{}",
+                executor.label()
+            );
         }
     }
 

@@ -18,7 +18,11 @@ use crate::json::Json;
 ///
 /// v2: the workload matrix gained the executor axis — every row carries
 /// an `"executor"` name and workload ids end in `-{executor}`.
-pub const SCHEMA_VERSION: i64 = 2;
+///
+/// v3: rows carry the deterministic critical-path statistics
+/// (`"critical_path"`) and the ungated per-round host wall-clock
+/// (`"round_wall_s"`).
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Model-side costs of one workload run: exactly what the paper's MPC
 /// model charges for, as measured by the audited distributed executor.
@@ -61,6 +65,61 @@ pub struct Quality {
     pub bye_weight: f64,
 }
 
+/// Deterministic critical-path statistics of the audited run (the
+/// simulated-compute makespans of `mpc_sim`'s `CriticalPath`): what the
+/// round schedule would cost under the barrier scheduler vs the
+/// pipelined one, plus the barrier's total stall. Identical in both
+/// scheduler modes — the tracker computes both on every run — and a pure
+/// function of the workload, but they measure the host execution engine
+/// rather than the paper's cost model, so `bench-diff` treats them like
+/// wall-clock: reported, gated only on explicit tolerance opt-in
+/// (`--cp-tolerance`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalPathStats {
+    /// Makespan with every round globally barriered.
+    pub barrier_makespan: i64,
+    /// Makespan with machines released per dependency readiness.
+    pub pipelined_makespan: i64,
+    /// Total idle cost machines spend waiting at barriers.
+    pub barrier_stall: i64,
+}
+
+impl CriticalPathStats {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("barrier_makespan".into(), Json::Int(self.barrier_makespan)),
+            (
+                "pipelined_makespan".into(),
+                Json::Int(self.pipelined_makespan),
+            ),
+            ("barrier_stall".into(), Json::Int(self.barrier_stall)),
+        ])
+    }
+
+    /// Field names in schema order (the `bench-diff` comparator iterates
+    /// these).
+    pub const FIELDS: &'static [&'static str] =
+        &["barrier_makespan", "pipelined_makespan", "barrier_stall"];
+
+    /// Typed field access for the comparator.
+    pub fn field(&self, name: &str) -> i64 {
+        match name {
+            "barrier_makespan" => self.barrier_makespan,
+            "pipelined_makespan" => self.pipelined_makespan,
+            "barrier_stall" => self.barrier_stall,
+            other => unreachable!("unknown critical-path field {other}"),
+        }
+    }
+
+    fn from_json(j: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(CriticalPathStats {
+            barrier_makespan: req_int(j, "barrier_makespan", ctx)?,
+            pipelined_makespan: req_int(j, "pipelined_makespan", ctx)?,
+            barrier_stall: req_int(j, "barrier_stall", ctx)?,
+        })
+    }
+}
+
 /// One workload row of the benchmark report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
@@ -83,8 +142,14 @@ pub struct WorkloadReport {
     pub model: ModelCosts,
     /// Gated: solution quality.
     pub quality: Quality,
+    /// Tolerance-gated like wall-clock: deterministic simulated makespans
+    /// of the round schedule under both schedulers.
+    pub critical_path: CriticalPathStats,
     /// Not gated: host wall-clock of the pipeline run, seconds.
     pub wall_clock_s: f64,
+    /// Not gated: host wall-clock per MPC round, seconds, in execution
+    /// order (host- and scheduler-dependent).
+    pub round_wall_s: Vec<f64>,
 }
 
 /// The full benchmark report (`BENCH_core.json`).
@@ -231,7 +296,12 @@ impl WorkloadReport {
             ("m".into(), Json::Int(self.m)),
             ("model".into(), self.model.to_json()),
             ("quality".into(), self.quality.to_json()),
+            ("critical_path".into(), self.critical_path.to_json()),
             ("wall_clock_s".into(), Json::Num(self.wall_clock_s)),
+            (
+                "round_wall_s".into(),
+                Json::Arr(self.round_wall_s.iter().map(|&s| Json::Num(s)).collect()),
+            ),
         ])
     }
 
@@ -246,6 +316,38 @@ impl WorkloadReport {
             req_str(j, "executor", &ctx).unwrap_or_else(|_| "distributed".into())
         } else {
             req_str(j, "executor", &ctx)?
+        };
+        // v2 reports predate the critical-path statistics and the
+        // per-round wall-clock; default them so the report still parses
+        // and the schema_version mismatch stays bench-diff's finding.
+        let critical_path = if schema_version < 3 {
+            j.get("critical_path")
+                .map(|c| CriticalPathStats::from_json(c, &ctx))
+                .transpose()?
+                .unwrap_or(CriticalPathStats {
+                    barrier_makespan: 0,
+                    pipelined_makespan: 0,
+                    barrier_stall: 0,
+                })
+        } else {
+            CriticalPathStats::from_json(
+                j.get("critical_path")
+                    .ok_or(format!("{ctx}: missing critical_path"))?,
+                &ctx,
+            )?
+        };
+        let round_wall_s = match j.get("round_wall_s") {
+            Some(arr) => arr
+                .as_arr()
+                .ok_or(format!("{ctx}: round_wall_s is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or(format!("{ctx}: non-numeric round_wall_s entry"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None if schema_version < 3 => Vec::new(),
+            None => return Err(format!("{ctx}: missing round_wall_s")),
         };
         Ok(WorkloadReport {
             executor,
@@ -262,7 +364,9 @@ impl WorkloadReport {
                 j.get("quality").ok_or(format!("{ctx}: missing quality"))?,
                 &ctx,
             )?,
+            critical_path,
             wall_clock_s: req_num(j, "wall_clock_s", &ctx)?,
+            round_wall_s,
             id,
         })
     }
@@ -369,7 +473,13 @@ pub fn synthetic_report() -> BenchReport {
                     greedy_weight: 140.25,
                     bye_weight: 151.0,
                 },
+                critical_path: CriticalPathStats {
+                    barrier_makespan: 203,
+                    pipelined_makespan: 202,
+                    barrier_stall: 150,
+                },
                 wall_clock_s: 0.015625,
+                round_wall_s: vec![0.0078125, 0.00390625],
             },
             WorkloadReport {
                 id: "rmat-zipf-eps16-n64-roundcompress".into(),
@@ -398,7 +508,13 @@ pub fn synthetic_report() -> BenchReport {
                     greedy_weight: 99.0,
                     bye_weight: 101.5,
                 },
+                critical_path: CriticalPathStats {
+                    barrier_makespan: 90,
+                    pipelined_makespan: 90,
+                    barrier_stall: 0,
+                },
                 wall_clock_s: 0.03125,
+                round_wall_s: vec![0.015625],
             },
         ],
     }
@@ -437,6 +553,56 @@ mod tests {
             last = at;
             let _ = w.quality.field(f);
         }
+        let text = w.critical_path.to_json().render();
+        let mut last = 0;
+        for f in CriticalPathStats::FIELDS {
+            let at = text.find(&format!("\"{f}\"")).expect(f);
+            assert!(at > last, "critical-path field {f} out of order");
+            last = at;
+            let _ = w.critical_path.field(f);
+        }
+    }
+
+    /// Re-renders the synthetic report at `version` with the v3-only row
+    /// fields dropped — a faithful pre-v3 report.
+    fn stripped_report(version: i64) -> String {
+        let mut report = synthetic_report();
+        report.schema_version = version;
+        let mut j = Json::parse(&report.to_json()).expect("own serialization parses");
+        let Json::Obj(fields) = &mut j else {
+            unreachable!("report root is an object")
+        };
+        for (key, v) in fields.iter_mut() {
+            if key != "workloads" {
+                continue;
+            }
+            let Json::Arr(rows) = v else {
+                unreachable!("workloads is an array")
+            };
+            for row in rows {
+                let Json::Obj(row_fields) = row else {
+                    unreachable!("workload row is an object")
+                };
+                row_fields.retain(|(k, _)| k != "critical_path" && k != "round_wall_s");
+            }
+        }
+        j.render()
+    }
+
+    #[test]
+    fn v2_report_without_critical_path_parses_for_the_diff_gate() {
+        // A pre-v3 report has neither critical_path nor round_wall_s; it
+        // must parse with zero/empty defaults so bench-diff can raise the
+        // schema_version mismatch itself rather than dying on a parse.
+        let text = stripped_report(2);
+        assert!(!text.contains("critical_path"));
+        assert!(!text.contains("round_wall_s"));
+        let back = BenchReport::from_json(&text).expect("v2 parses");
+        assert_eq!(back.workloads[0].critical_path.barrier_makespan, 0);
+        assert!(back.workloads[0].round_wall_s.is_empty());
+        // At the current schema the fields are required.
+        let err = BenchReport::from_json(&stripped_report(SCHEMA_VERSION)).unwrap_err();
+        assert!(err.contains("critical_path"), "{err}");
     }
 
     #[test]

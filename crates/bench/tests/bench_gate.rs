@@ -5,7 +5,7 @@
 
 use mwvc_bench::diff::{diff_reports, DiffOptions, FindingKind};
 use mwvc_bench::harness::{run_workload, BenchWorkload, ExecutorKind};
-use mwvc_bench::schema::{synthetic_report, BenchReport, ModelCosts, Quality};
+use mwvc_bench::schema::{synthetic_report, BenchReport, CriticalPathStats, ModelCosts, Quality};
 use mwvc_graph::{GraphPreset, WeightModel};
 use std::path::PathBuf;
 use std::process::Command;
@@ -79,6 +79,19 @@ fn golden_file_field_order_matches_schema_lists() {
         assert!(at > last, "quality field {field} out of order");
         last = at;
     }
+    // v3 additions: critical_path follows quality; the ungated wall
+    // columns close the row.
+    let cp_at = golden.find("\"critical_path\"").unwrap();
+    assert!(quality_at < cp_at, "critical_path follows quality");
+    let mut last = cp_at;
+    for field in CriticalPathStats::FIELDS {
+        let at = golden[cp_at..].find(&format!("\"{field}\"")).expect(field) + cp_at;
+        assert!(at > last, "critical-path field {field} out of order");
+        last = at;
+    }
+    let wall_at = golden.find("\"wall_clock_s\"").unwrap();
+    let round_wall_at = golden.find("\"round_wall_s\"").unwrap();
+    assert!(last < wall_at && wall_at < round_wall_at);
 }
 
 fn temp_file(name: &str, contents: &str) -> PathBuf {
@@ -196,6 +209,7 @@ fn gated_fields_bit_identical_across_pool_widths() {
             epsilon: 0.0625,
             tier_n: 256,
             executor,
+            scheduler: mpc_sim::RoundScheduler::Barrier,
         };
         let run = |threads: usize| {
             let pool = rayon::ThreadPoolBuilder::new()

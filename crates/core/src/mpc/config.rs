@@ -30,6 +30,7 @@
 
 use crate::init::InitScheme;
 use crate::thresholds::ThresholdScheme;
+use mpc_sim::RoundScheduler;
 use serde::{Deserialize, Serialize};
 
 /// How many local iterations `I` a phase simulates.
@@ -159,6 +160,10 @@ pub struct MpcMwvcConfig {
     pub switch: PhaseSwitch,
     /// Hard cap on phases (guards configurations that cannot progress).
     pub max_phases: usize,
+    /// Host round-execution engine for the simulator cluster. No effect
+    /// on model costs, covers, or certificates — only on how the host
+    /// overlaps placement and compute.
+    pub scheduler: RoundScheduler,
 }
 
 impl MpcMwvcConfig {
@@ -180,6 +185,7 @@ impl MpcMwvcConfig {
             },
             switch: PhaseSwitch::PaperLog30,
             max_phases: 1000,
+            scheduler: RoundScheduler::Barrier,
         }
     }
 
@@ -207,6 +213,7 @@ impl MpcMwvcConfig {
             },
             switch: PhaseSwitch::AvgDegree(2.0),
             max_phases: 300,
+            scheduler: RoundScheduler::Barrier,
         }
     }
 
@@ -232,6 +239,7 @@ impl MpcMwvcConfig {
             },
             switch: PhaseSwitch::AvgDegree(8.0),
             max_phases: 200,
+            scheduler: RoundScheduler::Barrier,
         }
     }
 
@@ -243,6 +251,12 @@ impl MpcMwvcConfig {
     /// `V^high` degree cutoff for average degree `d`.
     pub fn high_degree_cutoff(&self, d: f64) -> f64 {
         d.max(1.0).powf(self.high_degree_exponent)
+    }
+
+    /// Switches the simulator to the given host round scheduler.
+    pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Validates parameter ranges.

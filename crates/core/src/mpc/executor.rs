@@ -96,6 +96,12 @@ pub struct ExecutorOutcome {
     pub solution: CoverCertificate,
     /// Model costs (rounds always; traffic when a router measured it).
     pub cost: CostReport,
+    /// Deterministic critical-path statistics of the round schedule
+    /// (zeroed when the run went through no audited cluster).
+    pub critical_path: mpc_sim::CriticalPath,
+    /// Host wall-clock seconds per MPC round (informational; empty when
+    /// the run went through no audited cluster).
+    pub round_wall: Vec<f64>,
 }
 
 /// A complete MWVC algorithm the harness can run on any instance. See the
@@ -137,6 +143,8 @@ impl Executor for DistributedExecutor {
         ExecutorOutcome {
             solution: CoverCertificate::new(outcome.cover, outcome.certificate),
             cost,
+            critical_path: outcome.trace.critical_path,
+            round_wall: outcome.round_wall,
         }
     }
 }
@@ -168,6 +176,8 @@ impl Executor for ReferenceExecutor {
         ExecutorOutcome {
             solution: CoverCertificate::new(res.cover, res.certificate),
             cost,
+            critical_path: mpc_sim::CriticalPath::default(),
+            round_wall: Vec::new(),
         }
     }
 }

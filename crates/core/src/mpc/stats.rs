@@ -214,6 +214,7 @@ mod tests {
                 total_traffic: 16,
             }],
             violations: vec![],
+            critical_path: Default::default(),
         };
         let cluster = MpcConfig::new(4, 1024);
         let report = CostReport::from_trace(3, &trace, &cluster);

@@ -44,6 +44,28 @@ pub struct RoundStats {
     pub total_traffic: usize,
 }
 
+/// Deterministic critical-path statistic of an execution, in simulated
+/// compute-cost units (words touched; see [`crate::pipeline`] for the
+/// cost model). Identical in both scheduler modes and at every host
+/// thread count — it measures what dependency-pipelined execution *could*
+/// overlap, independently of whether the host actually has the cores to
+/// realize it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Makespan of barrier execution: the sum over rounds of the slowest
+    /// machine's simulated compute cost.
+    pub barrier_makespan: u64,
+    /// Makespan of dependency-pipelined execution: the longest path
+    /// through the (machine, round) dependency DAG, where a machine's
+    /// round-`r` work waits only for its own round-`r-1` work and for the
+    /// round-`r-1` work of the machines that sent to it. Never exceeds
+    /// `barrier_makespan`.
+    pub pipelined_makespan: u64,
+    /// Total idle cost barrier execution spends waiting at round barriers:
+    /// the sum over rounds and machines of `round_max - cost(machine)`.
+    pub barrier_stall: u64,
+}
+
 /// The full execution record of a cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionTrace {
@@ -51,6 +73,9 @@ pub struct ExecutionTrace {
     pub rounds: Vec<RoundStats>,
     /// Constraint breaches (empty under strict enforcement — it panics).
     pub violations: Vec<Violation>,
+    /// Critical-path totals over the executed rounds (see
+    /// [`CriticalPath`]).
+    pub critical_path: CriticalPath,
 }
 
 /// A flat, serializable snapshot of everything the MPC model charges a
@@ -120,7 +145,9 @@ impl ExecutionTrace {
     }
 
     /// Appends another trace (e.g. a sub-phase) onto this one, reindexing
-    /// the violations' round numbers.
+    /// the violations' round numbers. Critical-path totals add up: the
+    /// boundary between separately executed traces is a real barrier, so
+    /// both makespans (and the stall) compose by summation.
     pub fn absorb(&mut self, other: ExecutionTrace) {
         let offset = self.rounds.len();
         self.rounds.extend(other.rounds);
@@ -129,6 +156,9 @@ impl ExecutionTrace {
                 v.round += offset;
                 v
             }));
+        self.critical_path.barrier_makespan += other.critical_path.barrier_makespan;
+        self.critical_path.pipelined_makespan += other.critical_path.pipelined_makespan;
+        self.critical_path.barrier_stall += other.critical_path.barrier_stall;
     }
 }
 
@@ -151,6 +181,7 @@ mod tests {
         let t = ExecutionTrace {
             rounds: vec![stats("a", 10, 12, 100, 40), stats("b", 5, 30, 80, 60)],
             violations: vec![],
+            critical_path: CriticalPath::default(),
         };
         assert_eq!(t.num_rounds(), 2);
         assert_eq!(t.peak_resident(), 100);
@@ -180,6 +211,7 @@ mod tests {
                 words: 9,
                 cap: 5,
             }],
+            critical_path: CriticalPath::default(),
         };
         assert_eq!(t.summary().violations, 1);
         assert_eq!(t.summary().rounds, 1);
@@ -199,6 +231,11 @@ mod tests {
         let mut a = ExecutionTrace {
             rounds: vec![stats("a", 1, 1, 1, 1)],
             violations: vec![],
+            critical_path: CriticalPath {
+                barrier_makespan: 10,
+                pipelined_makespan: 7,
+                barrier_stall: 3,
+            },
         };
         let b = ExecutionTrace {
             rounds: vec![stats("b", 2, 2, 2, 2)],
@@ -209,9 +246,22 @@ mod tests {
                 words: 9,
                 cap: 5,
             }],
+            critical_path: CriticalPath {
+                barrier_makespan: 4,
+                pipelined_makespan: 4,
+                barrier_stall: 0,
+            },
         };
         a.absorb(b);
         assert_eq!(a.num_rounds(), 2);
         assert_eq!(a.violations[0].round, 1);
+        assert_eq!(
+            a.critical_path,
+            CriticalPath {
+                barrier_makespan: 14,
+                pipelined_makespan: 11,
+                barrier_stall: 3,
+            }
+        );
     }
 }

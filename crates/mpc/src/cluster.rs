@@ -21,10 +21,12 @@
 
 use crate::accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
 use crate::model::{Enforcement, MpcConfig};
+use crate::pipeline::{CpTracker, ReadinessBoard};
 use crate::router::{route, FlatInboxes, Outbox, RouteScratch};
 use crate::words::Words;
 use rayon::prelude::*;
 use std::marker::PhantomData;
+use std::time::Instant;
 
 /// A machine's handle for emitting messages during a round. Owns the
 /// machine's reusable outbox arena; the router drains it (retaining
@@ -37,7 +39,7 @@ pub struct MachineCtx<M> {
 }
 
 impl<M> MachineCtx<M> {
-    fn new(id: usize, num_machines: usize, outbox: Outbox<M>) -> Self {
+    pub(crate) fn new(id: usize, num_machines: usize, outbox: Outbox<M>) -> Self {
         Self {
             id,
             num_machines,
@@ -45,7 +47,7 @@ impl<M> MachineCtx<M> {
         }
     }
 
-    fn into_outbox(self) -> Outbox<M> {
+    pub(crate) fn into_outbox(self) -> Outbox<M> {
         self.outbox
     }
 
@@ -94,6 +96,11 @@ impl<M: Clone> MachineCtx<M> {
         self.outbox.push(m - 1, msg);
     }
 }
+
+/// The borrowed form of a round body: one machine's compute closure for
+/// one round, shared by the barrier and pipelined schedulers.
+pub(crate) type RoundFn<'seg, S, M> =
+    dyn for<'a> Fn(&mut MachineCtx<M>, &mut S, Inbox<'a, M>) + Sync + Send + 'seg;
 
 /// A by-value draining view of one machine's inbox: iterates the
 /// machine's slice of the shared flat buffer, moving each message out.
@@ -198,17 +205,26 @@ impl<M> BufPtr<M> {
 /// An MPC cluster executing synchronous rounds over per-machine state `S`
 /// and message type `M`.
 pub struct Cluster<S, M> {
-    config: MpcConfig,
-    states: Vec<S>,
+    pub(crate) config: MpcConfig,
+    pub(crate) states: Vec<S>,
     /// Per-machine outbox arenas, recycled each round.
-    outboxes: Vec<Outbox<M>>,
+    pub(crate) outboxes: Vec<Outbox<M>>,
     /// Routed messages pending delivery, CSR layout, recycled each round.
-    inboxes: FlatInboxes<M>,
+    pub(crate) inboxes: FlatInboxes<M>,
     /// Router working memory, recycled each round.
-    scratch: RouteScratch,
+    pub(crate) scratch: RouteScratch,
     /// Per-machine post-computation state footprint, recycled each round.
-    state_words: Vec<usize>,
-    trace: ExecutionTrace,
+    pub(crate) state_words: Vec<usize>,
+    pub(crate) trace: ExecutionTrace,
+    /// Per-region delivery counters of the pipelined scheduler, recycled
+    /// each round.
+    pub(crate) board: ReadinessBoard,
+    /// Critical-path accounting, advanced identically by both schedulers.
+    pub(crate) cp: CpTracker,
+    /// Host wall-clock seconds per executed round — informational (host-
+    /// and thread-count-dependent), so deliberately *not* part of the
+    /// [`ExecutionTrace`] the determinism suite compares.
+    pub(crate) round_wall: Vec<f64>,
 }
 
 impl<S, M> Cluster<S, M>
@@ -230,6 +246,9 @@ where
             scratch: RouteScratch::new(),
             state_words: vec![0; m],
             trace: ExecutionTrace::default(),
+            board: ReadinessBoard::new(m),
+            cp: CpTracker::new(m),
+            round_wall: Vec::new(),
         }
     }
 
@@ -275,36 +294,13 @@ where
         F: for<'a> Fn(&mut MachineCtx<M>, &mut S, Inbox<'a, M>) + Sync + Send,
     {
         let round_index = self.trace.rounds.len();
+        let started = Instant::now();
 
-        // Local computation: free in the model, parallel on the host.
-        // Each machine drains its disjoint slice of the shared inbox
-        // buffer and refills its own outbox arena; no per-round buffers
-        // are allocated. Each machine also reports its post-computation
-        // state footprint, so the resident check below needs no second
-        // scan.
-        {
-            let m = self.config.num_machines;
-            let base = BufPtr(self.inboxes.begin_drain());
-            let starts = self.inboxes.region_starts();
-            let lens = self.inboxes.region_lens();
-            self.states
-                .par_iter_mut()
-                .zip(self.outboxes.par_iter_mut())
-                .zip(self.state_words.par_iter_mut())
-                .enumerate()
-                .for_each(|(id, ((state, outbox), words))| {
-                    // SAFETY: machine regions are disjoint by the layout
-                    // tables; the drained buffer outlives this scope and
-                    // each message is owned by exactly one view.
-                    let inbox = unsafe { Inbox::from_raw(base.at(starts[id]), lens[id]) };
-                    // The context temporarily owns this machine's arena;
-                    // both moves are pointer swaps, not allocations.
-                    let mut ctx = MachineCtx::new(id, m, std::mem::take(outbox));
-                    f(&mut ctx, state, inbox);
-                    *words = state.words();
-                    *outbox = ctx.into_outbox();
-                });
-        }
+        self.compute_all(&f);
+
+        // Dependency capture must precede routing: the router empties the
+        // outboxes' run tables while delivering.
+        self.cp.capture_deps(&self.outboxes);
 
         // Communication: the only thing the model restricts.
         route(
@@ -315,6 +311,48 @@ where
             &mut self.scratch,
         );
 
+        self.bookkeep_round(label, round_index);
+        self.round_wall.push(started.elapsed().as_secs_f64());
+    }
+
+    /// The local-computation half of a round: every machine drains its
+    /// disjoint slice of the shared inbox buffer, refills its own outbox
+    /// arena, and reports its post-computation state footprint (so the
+    /// resident check needs no second scan). Free in the model, parallel
+    /// on the host, no per-round allocation. `f` is the borrowed form of
+    /// a round body ([`RoundFn`]), shared by both schedulers.
+    pub(crate) fn compute_all(&mut self, f: &RoundFn<'_, S, M>) {
+        let m = self.config.num_machines;
+        let base = BufPtr(self.inboxes.begin_drain());
+        let starts = self.inboxes.region_starts();
+        let lens = self.inboxes.region_lens();
+        self.states
+            .par_iter_mut()
+            .zip(self.outboxes.par_iter_mut())
+            .zip(self.state_words.par_iter_mut())
+            .enumerate()
+            .for_each(|(id, ((state, outbox), words))| {
+                // SAFETY: machine regions are disjoint by the layout
+                // tables; the drained buffer outlives this scope and
+                // each message is owned by exactly one view.
+                let inbox = unsafe { Inbox::from_raw(base.at(starts[id]), lens[id]) };
+                // The context temporarily owns this machine's arena;
+                // both moves are pointer swaps, not allocations.
+                let mut ctx = MachineCtx::new(id, m, std::mem::take(outbox));
+                f(&mut ctx, state, inbox);
+                *words = state.words();
+                *outbox = ctx.into_outbox();
+            });
+    }
+
+    /// The accounting half of a round, run once the word totals are final
+    /// (after the fused route in barrier mode; after the layout pass —
+    /// *before* placement — in pipelined mode, where the totals are
+    /// already final and enforcement must fire before any overlapped
+    /// compute can observe the round): the resident-memory check, the
+    /// [`RoundStats`] entry, the violation handoff into the trace, and the
+    /// critical-path advance.
+    pub(crate) fn bookkeep_round(&mut self, label: &str, round_index: usize) {
         // Resident memory check: state + freshly delivered inbox. The
         // inbox footprint equals the words received this round, which the
         // router already measured.
@@ -363,6 +401,19 @@ where
         self.trace.violations.append(&mut violations);
         // Give the (now empty) violation buffer back for reuse.
         self.scratch.violations = violations;
+
+        self.cp
+            .advance(&self.scratch.sent_words, &self.scratch.received_words);
+        self.trace.critical_path = self.cp.snapshot();
+    }
+
+    /// Host wall-clock seconds per executed round, in round order.
+    /// Informational only: host- and thread-count-dependent, never part
+    /// of the deterministic [`ExecutionTrace`]. In pipelined mode entry
+    /// `k` covers round `k`'s layout/placement plus the overlapped
+    /// round-`k+1` compute.
+    pub fn round_wall(&self) -> &[f64] {
+        &self.round_wall
     }
 
     /// Messages currently pending delivery to machine `i` (sent in the

@@ -65,6 +65,7 @@ mod tests {
                 })
                 .collect(),
             violations: vec![],
+            critical_path: Default::default(),
         }
     }
 
@@ -95,6 +96,7 @@ mod tests {
                 total_traffic: 500,
             }],
             violations: vec![],
+            critical_path: Default::default(),
         };
         assert_eq!(simulate_on_clique(&t, 100).rounds, 5);
     }

@@ -39,14 +39,19 @@ pub mod accounting;
 pub mod cluster;
 pub mod congested_clique;
 pub mod model;
+pub mod pipeline;
 pub mod primitives;
 pub mod rng;
 pub mod router;
+pub(crate) mod sync;
 pub mod words;
 
-pub use accounting::{ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind};
+pub use accounting::{
+    CriticalPath, ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind,
+};
 pub use cluster::{Cluster, Inbox, MachineCtx};
-pub use model::{Enforcement, MemoryRegime, MpcConfig};
+pub use model::{Enforcement, MemoryRegime, MpcConfig, RoundScheduler};
+pub use pipeline::{ReadinessBoard, SegmentRound};
 pub use router::{FlatInboxes, Outbox, RouteScratch};
 pub use words::Words;
 

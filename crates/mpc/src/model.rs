@@ -58,6 +58,23 @@ pub enum Enforcement {
     Audit,
 }
 
+/// Which engine executes a segment of rounds on the host
+/// ([`Cluster::run_segment`](crate::Cluster::run_segment)). Model costs —
+/// covers, duals, traces, violations — are bit-identical in both modes;
+/// the scheduler only changes how the host overlaps work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RoundScheduler {
+    /// The reference engine: every round is a global barrier — all
+    /// machines compute, then the router delivers, then the next round
+    /// starts.
+    #[default]
+    Barrier,
+    /// The dependency-pipelined engine ([`crate::pipeline`]): a machine
+    /// whose next-round inbox region is fully delivered starts computing
+    /// while slower machines are still placing their sends.
+    Pipelined,
+}
+
 /// Static configuration of an MPC cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MpcConfig {
@@ -68,6 +85,8 @@ pub struct MpcConfig {
     pub memory_words: usize,
     /// Constraint policy.
     pub enforcement: Enforcement,
+    /// Host round-execution engine (no effect on model costs).
+    pub scheduler: RoundScheduler,
 }
 
 impl MpcConfig {
@@ -79,6 +98,7 @@ impl MpcConfig {
             num_machines,
             memory_words,
             enforcement: Enforcement::Strict,
+            scheduler: RoundScheduler::Barrier,
         }
     }
 
@@ -95,6 +115,18 @@ impl MpcConfig {
     /// Switches to audit-mode enforcement.
     pub fn audited(mut self) -> Self {
         self.enforcement = Enforcement::Audit;
+        self
+    }
+
+    /// Switches to the dependency-pipelined round scheduler.
+    pub fn pipelined(mut self) -> Self {
+        self.scheduler = RoundScheduler::Pipelined;
+        self
+    }
+
+    /// Selects the round scheduler explicitly.
+    pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -145,5 +177,21 @@ mod tests {
         let cfg = MpcConfig::new(2, 10);
         assert_eq!(cfg.enforcement, Enforcement::Strict);
         assert_eq!(cfg.audited().enforcement, Enforcement::Audit);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_barrier_and_flips() {
+        let cfg = MpcConfig::new(2, 10);
+        assert_eq!(cfg.scheduler, RoundScheduler::Barrier);
+        assert_eq!(cfg.pipelined().scheduler, RoundScheduler::Pipelined);
+        assert_eq!(
+            cfg.with_scheduler(RoundScheduler::Pipelined).scheduler,
+            RoundScheduler::Pipelined
+        );
+    }
+
+    #[test]
+    fn scheduler_default_is_barrier() {
+        assert_eq!(RoundScheduler::default(), RoundScheduler::Barrier);
     }
 }

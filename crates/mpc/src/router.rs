@@ -154,7 +154,7 @@ impl<M> Outbox<M> {
     /// # Safety
     /// All `msgs` must have been moved out (ownership transferred) since
     /// the last time the outbox was filled.
-    unsafe fn forget_moved(&mut self) {
+    pub(crate) unsafe fn forget_moved(&mut self) {
         // SAFETY: the caller moved every element out, so truncating the
         // length to 0 merely stops the Vec from double-dropping them.
         unsafe { self.msgs.set_len(0) };
@@ -307,7 +307,7 @@ impl<M> FlatInboxes<M> {
     }
 
     /// Marks the regions laid out by `begin_fill` as live.
-    fn finish_fill(&mut self) {
+    pub(crate) fn finish_fill(&mut self) {
         self.live = true;
     }
 }
@@ -328,7 +328,7 @@ pub struct RouteScratch {
     /// Words received per machine (valid after [`route`]).
     pub received_words: Vec<usize>,
     /// Messages received per machine.
-    recv_msgs: Vec<usize>,
+    pub(crate) recv_msgs: Vec<usize>,
     /// Flat `m*m` row-major per-(sender, destination) message counts
     /// (parallel path only).
     counts: Vec<u32>,
@@ -338,7 +338,7 @@ pub struct RouteScratch {
     /// Flat `m*m` row-major start slots (parallel path); doubles as the
     /// sequential path's per-destination cursor array (first `m`
     /// entries).
-    starts: Vec<usize>,
+    pub(crate) starts: Vec<usize>,
     /// Capacity breaches of the last routed round (audit mode).
     pub violations: Vec<Violation>,
 }
@@ -350,7 +350,7 @@ impl RouteScratch {
     }
 
     /// (Re)sizes the per-machine vectors and clears totals.
-    fn reset_per_machine(&mut self, m: usize) {
+    pub(crate) fn reset_per_machine(&mut self, m: usize) {
         self.sent_words.clear();
         self.sent_words.resize(m, 0);
         self.received_words.clear();
@@ -373,8 +373,10 @@ impl RouteScratch {
 }
 
 /// Raw base pointer shared across the placing workers; senders write
-/// disjoint slot ranges.
-struct SendPtr<T>(*mut T);
+/// disjoint slot ranges. Also used by the pipelined scheduler
+/// ([`crate::pipeline`]) for its region/outbox handoffs, whose
+/// disjointness is guaranteed by the readiness protocol there.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 // SAFETY: the wrapper only hands out raw pointers; the shuffle stages
 // guarantee every worker writes a disjoint slot range.
 unsafe impl<T: Send> Send for SendPtr<T> {}
@@ -383,7 +385,7 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
     #[inline]
-    fn at(&self, index: usize) -> *mut T {
+    pub(crate) fn at(&self, index: usize) -> *mut T {
         // SAFETY: callers stay within the reserved capacity.
         unsafe { self.0.add(index) }
     }
@@ -438,6 +440,16 @@ pub fn route_forced<M: Words + Send + Sync>(
         shuffle_sequential(m, outboxes, inboxes, scratch);
     }
 
+    cap_check(config, round, scratch);
+}
+
+/// The send/receive cap enforcement over a routed round's word totals —
+/// per machine in index order, send side before receive side, so the
+/// recorded violation order is identical whichever shuffle (or the
+/// pipelined scheduler, which runs this before placement — the totals
+/// are already final after layout) produced the totals.
+pub(crate) fn cap_check(config: &MpcConfig, round: usize, scratch: &mut RouteScratch) {
+    let m = config.num_machines;
     let cap = config.memory_words;
     for machine in 0..m {
         let sent = scratch.sent_words[machine];
@@ -539,14 +551,26 @@ fn shuffle_sequential<M: Words>(
     inboxes.finish_fill();
 }
 
-/// Parallel three-stage shuffle over flat `m*m` tables; bit-identical to
-/// [`shuffle_sequential`] (same canonical order) at any thread count.
-fn shuffle_parallel<M: Words + Send + Sync>(
+/// The layout half of the flat shuffle: the parallel tally (stage 1)
+/// plus the sequential layout pass (stage 2) over the flat `m*m` tables.
+/// On return every per-machine total — `sent_words`, `received_words`,
+/// the region starts/lens of `inboxes` — is final, the start-slot table
+/// (`scratch.starts`, row-major per-(sender, destination)) describes
+/// where every sender's runs will land, and the returned base pointer
+/// addresses the reserved (still uninitialized) inbox buffer. No message
+/// has moved yet; [`place_sender`] does that per sender.
+///
+/// Callable on its own by the pipelined scheduler, which needs the
+/// region bounds and word totals *before* placement so it can run cap
+/// enforcement and arm per-region delivery counters up front. Note that
+/// `scratch.recv_msgs` is consumed as the layout's running cursors —
+/// per-region message counts live in `inboxes.region_lens()` afterwards.
+pub(crate) fn layout_flat<M: Words + Send + Sync>(
     m: usize,
-    outboxes: &mut [Outbox<M>],
+    outboxes: &[Outbox<M>],
     inboxes: &mut FlatInboxes<M>,
     scratch: &mut RouteScratch,
-) {
+) -> *mut M {
     scratch.reset_tables(m);
 
     // Stage 1 — tally, parallel over senders: each sender owns row `from`
@@ -602,35 +626,91 @@ fn shuffle_parallel<M: Words + Send + Sync>(
             scratch.recv_msgs[to] += scratch.counts[row + to] as usize;
         }
     }
+    base
+}
 
-    // Stage 3 — place, parallel over senders into disjoint slot ranges;
-    // each sender advances its own start row, so repeated runs to one
-    // destination land back to back in emission order.
+/// The placement half of the flat shuffle for one sender: block-copies
+/// `outbox`'s runs into the slot ranges [`layout_flat`] assigned it,
+/// advancing its own start row so repeated runs to one destination land
+/// back to back in emission order. `on_run(to, len)` fires after each
+/// run's copy — a no-op on the barrier path, the per-region delivery
+/// notification on the pipelined path.
+///
+/// Does **not** forget the outbox's moved-out messages; the caller must
+/// follow up with [`Outbox::forget_moved`] before the outbox is reused.
+///
+/// # Safety
+/// `buf` and `starts` must come from a [`layout_flat`] call over an
+/// outbox slice containing this exact `(from, outbox)`, with no
+/// intervening layout; each `(from, outbox)` may be placed at most once
+/// per layout. Distinct senders may then run concurrently — their slot
+/// ranges are disjoint by the prefix-sum layout.
+pub(crate) unsafe fn place_sender<M: Words>(
+    m: usize,
+    from: usize,
+    outbox: &Outbox<M>,
+    buf: &SendPtr<M>,
+    starts: &SendPtr<usize>,
+    mut on_run: impl FnMut(usize, usize),
+) {
+    let row = from * m;
+    let mut src = 0usize;
+    for run in &outbox.runs {
+        let to = run.to as usize;
+        let len = run.len as usize;
+        // SAFETY: slot ranges of different senders are disjoint by the
+        // prefix-sum layout and stay within the reserved capacity; start
+        // row `from` is owned by this sender.
+        unsafe {
+            let slot = *starts.at(row + to);
+            std::ptr::copy_nonoverlapping(outbox.msgs.as_ptr().add(src), buf.at(slot), len);
+            *starts.at(row + to) = slot + len;
+        }
+        src += len;
+        on_run(to, len);
+    }
+}
+
+/// The full placement stage over every sender: parallel [`place_sender`]
+/// calls into disjoint slot ranges, then the outbox drains
+/// ([`Outbox::forget_moved`]). `base` must come from the immediately
+/// preceding [`layout_flat`] over the same `outboxes`. Used by the fused
+/// parallel shuffle and by the pipelined scheduler's final segment round
+/// (which has no next compute to overlap with). Does not mark the inbox
+/// regions live — the caller decides between `finish_fill` (barrier
+/// handoff) and immediate in-place draining (pipelined handoff).
+pub(crate) fn place_all<M: Words + Send + Sync>(
+    m: usize,
+    outboxes: &mut [Outbox<M>],
+    base: *mut M,
+    scratch: &mut RouteScratch,
+) {
     {
         let buf = SendPtr(base);
         let starts = SendPtr(scratch.starts.as_mut_ptr());
         outboxes.par_iter().enumerate().for_each(|(from, outbox)| {
-            let row = from * m;
-            let mut src = 0usize;
-            for run in &outbox.runs {
-                let to = run.to as usize;
-                let len = run.len as usize;
-                // SAFETY: slot ranges of different senders are disjoint by
-                // the prefix-sum layout and stay within the reserved
-                // capacity; start row `from` is owned by this sender.
-                unsafe {
-                    let slot = *starts.at(row + to);
-                    std::ptr::copy_nonoverlapping(outbox.msgs.as_ptr().add(src), buf.at(slot), len);
-                    *starts.at(row + to) = slot + len;
-                }
-                src += len;
-            }
+            // SAFETY: layout covered exactly these outboxes; each sender
+            // is placed once, and senders' ranges are disjoint.
+            unsafe { place_sender(m, from, outbox, &buf, &starts, |_, _| {}) };
         });
     }
     for outbox in outboxes.iter_mut() {
         // SAFETY: every message was moved into the inbox buffer above.
         unsafe { outbox.forget_moved() };
     }
+}
+
+/// Parallel three-stage shuffle over flat `m*m` tables — the fused
+/// composition of [`layout_flat`] and [`place_all`]; bit-identical to
+/// [`shuffle_sequential`] (same canonical order) at any thread count.
+fn shuffle_parallel<M: Words + Send + Sync>(
+    m: usize,
+    outboxes: &mut [Outbox<M>],
+    inboxes: &mut FlatInboxes<M>,
+    scratch: &mut RouteScratch,
+) {
+    let base = layout_flat(m, outboxes, inboxes, scratch);
+    place_all(m, outboxes, base, scratch);
     // Every region slot was initialized by the moves above.
     inboxes.finish_fill();
 }

@@ -1,0 +1,27 @@
+//! Synchronization facade for the simulator's concurrency core:
+//! `std::sync` in normal builds, the vendored `loom` model-checking shims
+//! under `RUSTFLAGS="--cfg loom"`.
+//!
+//! This mirrors `vendor/rayon/src/sync.rs`, which PR 6 introduced for the
+//! work-stealing pool. The pipelined round scheduler
+//! ([`crate::pipeline`]) must import every synchronization primitive
+//! through this module and never from `std::sync` directly — otherwise
+//! the loom suite (`tests/loom_pipeline.rs`) silently stops covering the
+//! shipped code. `repo-lint` (tools/lint) enforces that rule for
+//! `crates/mpc/src/pipeline.rs`.
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic;
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic;
+
+/// Whether a named seeded mutation is active. Mutations are compiled in
+/// only under loom and switched at runtime via `LOOM_MUTATE=<name>`;
+/// CI's model-check job uses them to prove the pipeline loom suite
+/// actually fails when a readiness ordering is weakened or the region
+/// handoff protocol is off by one.
+#[cfg(loom)]
+pub(crate) fn mutation(name: &str) -> bool {
+    std::env::var("LOOM_MUTATE").map_or(false, |v| v == name)
+}

@@ -1,0 +1,275 @@
+//! Model-checked interleavings of the pipelined scheduler's readiness
+//! protocol, built on the vendored `loom` (see `vendor/loom`). Compiled
+//! and run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mpc-sim --test loom_pipeline
+//! ```
+//!
+//! The scenarios drive the real [`mpc_sim::ReadinessBoard`] — the same
+//! code the pipelined engine runs, via the `crate::sync` facade — with
+//! loom threads playing the placing senders and `loom::cell::UnsafeCell`s
+//! standing in for the two memory regions the protocol guards: the inbox
+//! region a compute reads (placed payloads) and the sender's outbox arena
+//! a compute reuses (drained by placement, refilled by the compute).
+//! Loom's cell race detection then *proves* the happens-before claims of
+//! `crates/mpc/src/pipeline.rs`: the completing decrement orders every
+//! placement before the compute's reads, and the sender token orders the
+//! outbox drain before the compute's writes. Plain `Vec` memory inside
+//! the real cluster is invisible to loom, which is exactly why the suite
+//! models those buffers as cells here instead of spawning a full
+//! `Cluster`.
+//!
+//! Coverage targets, per ISSUE:
+//!
+//! * cross handoff: two senders exchanging regions, every completion
+//!   path (delivery-last vs token-last) exactly once;
+//! * empty regions completing on the token alone;
+//! * self-delivery never outrunning the sender's own outbox drain.
+//!
+//! The `mutation_*` tests prove the suite has teeth: with
+//! `LOOM_MUTATE=weaken-ready-ordering` (readiness decrements dropped to
+//! `Relaxed`) or `LOOM_MUTATE=early-ready` (the sender token never armed
+//! — region readiness off by one) the corresponding scenario must FAIL
+//! model checking as a data race, and the test asserts that failure. CI
+//! runs each mutation as a separate filtered invocation; the unmutated
+//! run executes the whole file.
+//!
+//! Schedule-count floors: `wide_three_sender_all_to_all_explores_widely`
+//! asserts >= 10,000 distinct schedules (measured ~24,900 at preemption
+//! bound 5), so the suite's coverage floor is enforced by the tests
+//! themselves, not by CI bookkeeping.
+
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use mpc_sim::ReadinessBoard;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The shared state of one modeled round: the armed board plus the
+/// memory it guards. One payload slot per region (each scenario sends at
+/// most one message per region), one outbox arena per sender.
+struct Fabric {
+    m: usize,
+    board: ReadinessBoard,
+    /// Inbox region contents, one slot per (region, sender) pair at
+    /// `region * m + sender`: written by the placing sender, read by the
+    /// region's compute.
+    payloads: Vec<UnsafeCell<u64>>,
+    /// Outbox arenas: written by the owner's placement drain, then
+    /// written again by the owner's compute (refill).
+    outboxes: Vec<UnsafeCell<u64>>,
+    /// How many times each region's compute ran (must be exactly once).
+    computed: Vec<AtomicUsize>,
+}
+
+impl Fabric {
+    /// A fabric of `m` regions armed for `region_lens` expected messages.
+    fn new(m: usize, region_lens: &[usize]) -> Arc<Self> {
+        let mut board = ReadinessBoard::new(m);
+        board.reset(region_lens);
+        Arc::new(Fabric {
+            m,
+            board,
+            payloads: (0..m * m).map(|_| UnsafeCell::new(0)).collect(),
+            outboxes: (0..m).map(|_| UnsafeCell::new(0)).collect(),
+            computed: (0..m).map(|_| AtomicUsize::new(0)).collect(),
+        })
+    }
+
+    /// Machine `i`'s next-round compute: reads its inbox region, reuses
+    /// (writes) its outbox arena. Loom flags a data race if any placement
+    /// write or the drain write is not ordered before this.
+    fn run_compute(&self, i: usize) {
+        for src in 0..self.m {
+            // SAFETY: (modeled) the board declared region `i` complete,
+            // so this read must be ordered after every placement write —
+            // that ordering is precisely what loom checks here.
+            self.payloads[i * self.m + src].with(|p| unsafe { *p });
+        }
+        // SAFETY: (modeled) the sender token orders the owner's drain
+        // before this refill write — also checked by loom.
+        self.outboxes[i].with_mut(|p| unsafe { *p += 1 });
+        self.computed[i].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Sender `j`'s placement task: place one message into each region
+    /// in `dests`, drain the own outbox, release the token; run any
+    /// compute the board hands over.
+    fn sender(&self, j: usize, dests: &[usize]) {
+        for &d in dests {
+            // SAFETY: (modeled) placement writes the region before the
+            // delivery decrement publishes it.
+            self.payloads[d * self.m + j].with_mut(|p| unsafe { *p = 10 + j as u64 });
+            if self.board.deliver(d, 1) {
+                self.run_compute(d);
+            }
+        }
+        // SAFETY: (modeled) the drain write happens while the token is
+        // still armed, so no compute may alias the arena yet.
+        self.outboxes[j].with_mut(|p| unsafe { *p += 1 });
+        if self.board.finish_sender(j) {
+            self.run_compute(j);
+        }
+    }
+
+    fn assert_each_region_computed_once(&self) {
+        for (i, c) in self.computed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "region {i} compute count");
+        }
+    }
+}
+
+/// Runs a model expected to fail, swallowing the (intentional) panic
+/// noise, and returns the failure message.
+fn expect_failure(f: impl Fn() + Send + Sync + 'static) -> String {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| loom::model(f)));
+    panic::set_hook(prev);
+    let payload = result.expect_err("model unexpectedly passed every schedule");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+/// Two senders exchanging regions — the protocol's fundamental handoff.
+/// Each region completes either on the peer's delivery or on the owner's
+/// token, and the compute that follows reads memory both threads wrote.
+/// This is the scenario both seeded mutations must break.
+fn cross_handoff() {
+    let fabric = Fabric::new(2, &[1, 1]);
+    let peer = Arc::clone(&fabric);
+    let t = loom::thread::spawn(move || peer.sender(1, &[0]));
+    fabric.sender(0, &[1]);
+    t.join().expect("sender thread panicked");
+    fabric.assert_each_region_computed_once();
+}
+
+#[test]
+fn cross_handoff_is_race_free() {
+    let report = loom::Builder::new().check(cross_handoff);
+    eprintln!("cross_handoff_is_race_free: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// An empty region must complete exactly once, on its owner's token
+/// alone, in every interleaving with a busy peer. (Machine 1 receives
+/// nothing; machine 0 receives one message from the peer.)
+#[test]
+fn empty_region_completes_on_token_alone() {
+    let report = loom::Builder::new().check(|| {
+        let fabric = Fabric::new(2, &[1, 0]);
+        let peer = Arc::clone(&fabric);
+        let t = loom::thread::spawn(move || peer.sender(1, &[0]));
+        fabric.sender(0, &[]);
+        t.join().expect("sender thread panicked");
+        fabric.assert_each_region_computed_once();
+    });
+    eprintln!("empty_region_completes_on_token_alone: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// A sender delivering to itself: the self-delivery lands while the
+/// sender is still mid-placement, and the token must keep the region
+/// from completing until the sender's own drain is done — otherwise the
+/// compute's arena refill would race the drain.
+#[test]
+fn self_delivery_waits_for_own_drain() {
+    let report = loom::Builder::new().check(|| {
+        let fabric = Fabric::new(2, &[1, 1]);
+        let peer = Arc::clone(&fabric);
+        // Sender 1 sends to itself; sender 0 sends to region 0 (itself
+        // too), so both completions are self-handoffs racing the drains.
+        let t = loom::thread::spawn(move || peer.sender(1, &[1]));
+        fabric.sender(0, &[0]);
+        t.join().expect("sender thread panicked");
+        fabric.assert_each_region_computed_once();
+    });
+    eprintln!("self_delivery_waits_for_own_drain: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// The wide-exploration scenario: three senders, all-to-all (every
+/// sender places into both peer regions), so every region's counter
+/// takes decrements from all three threads and every completion is a
+/// cross-thread handoff. The board protocol has far fewer branch points
+/// than the pool (no deques, no parking), so this test deepens the
+/// preemption bound to 5 to make the schedule tree dense; it enforces
+/// the suite's >= 10,000-distinct-schedules coverage floor.
+#[test]
+fn wide_three_sender_all_to_all_explores_widely() {
+    let mut builder = loom::Builder::new();
+    builder.preemption_bound = 5;
+    let report = builder.check(|| {
+        let fabric = Fabric::new(3, &[2, 2, 2]);
+        let f1 = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let t1 = loom::thread::spawn(move || f1.sender(1, &[2, 0]));
+        let t2 = loom::thread::spawn(move || f2.sender(2, &[0, 1]));
+        fabric.sender(0, &[1, 2]);
+        t1.join().expect("sender 1 panicked");
+        t2.join().expect("sender 2 panicked");
+        fabric.assert_each_region_computed_once();
+    });
+    eprintln!("wide_three_sender_all_to_all_explores_widely: {report:?}");
+    assert!(
+        !report.truncated,
+        "exploration truncated at the iteration cap"
+    );
+    assert!(
+        report.schedules >= 10_000,
+        "coverage floor regressed: explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// Seeded mutation "weaken-ready-ordering": the readiness decrements drop
+/// from `AcqRel` to `Relaxed`, so in the schedule where a region is
+/// completed by a thread other than the one that placed its payload
+/// (e.g. the owner's token lands last), the compute's payload read is no
+/// longer ordered after the peer's placement write — the model must
+/// report a data race. Without the mutation the same scenario must pass
+/// every schedule.
+#[test]
+fn mutation_weaken_ready_ordering_is_detected() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("weaken-ready-ordering") => {
+            let msg = expect_failure(cross_handoff);
+            assert!(msg.contains("data race"), "expected data race, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(cross_handoff);
+            eprintln!("mutation_weaken_ready_ordering_is_detected (unmutated): {report:?}");
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}
+
+/// Seeded mutation "early-ready": the sender token is never armed —
+/// region readiness is off by one, turning a region ready the instant
+/// its last message lands. In the schedule where the peer's delivery
+/// completes region `i` before sender `i` has drained its own outbox,
+/// the compute's arena refill races the drain — the model must report a
+/// data race. Without the mutation the same scenario must pass every
+/// schedule.
+#[test]
+fn mutation_early_ready_is_detected() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("early-ready") => {
+            let msg = expect_failure(cross_handoff);
+            assert!(msg.contains("data race"), "expected data race, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(cross_handoff);
+            eprintln!("mutation_early_ready_is_detected (unmutated): {report:?}");
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}

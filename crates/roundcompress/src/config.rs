@@ -2,6 +2,7 @@
 //! per-machine budget that drives the part-count schedule, and the level
 //! cap. All randomness (partitions, thresholds) derives from one seed.
 
+use mpc_sim::RoundScheduler;
 use mwvc_core::{InitScheme, ThresholdScheme};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,10 @@ pub struct RoundCompressConfig {
     /// cluster yourself or use an audited config when experimenting with
     /// tiny caps.
     pub max_levels: usize,
+    /// Host round-execution engine for the simulator cluster. No effect
+    /// on model costs, covers, or certificates — only on how the host
+    /// overlaps placement and compute.
+    pub scheduler: RoundScheduler,
 }
 
 impl RoundCompressConfig {
@@ -94,6 +99,7 @@ impl RoundCompressConfig {
             thresholds: ThresholdScheme::UniformRandom,
             budget: BudgetRule::EdgesPerVertex(2.0),
             max_levels: 100,
+            scheduler: RoundScheduler::Barrier,
         }
     }
 
@@ -104,6 +110,12 @@ impl RoundCompressConfig {
             solver: LocalSolver::Pricing,
             ..Self::practical(0.25, seed)
         }
+    }
+
+    /// Switches the simulator to the given host round scheduler.
+    pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// The configured edge budget for an `n`-vertex instance.

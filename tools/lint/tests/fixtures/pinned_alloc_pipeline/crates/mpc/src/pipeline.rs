@@ -1,0 +1,22 @@
+//! Fixture: allocation constructs on the pipelined scheduler's
+//! steady-state path, with no allowlist covering them.
+
+pub fn arm_round(region_lens: &[usize]) -> Vec<usize> {
+    let mut counters = Vec::new();
+    for &len in region_lens {
+        counters.push(len + 1);
+    }
+    let snapshot = counters.clone();
+    counters.extend(snapshot);
+    counters
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may allocate freely: not flagged.
+    #[test]
+    fn tests_are_exempt() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.clone(), v);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the pipelined scheduler reaching for `std::sync` atomics
+//! instead of the `crate::sync` facade — the loom build would silently
+//! stop checking the readiness protocol.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Board {
+    pub remaining: AtomicUsize,
+}
+
+impl Board {
+    pub fn deliver(&self, n: usize) -> bool {
+        self.remaining.fetch_sub(n, Ordering::AcqRel) == n
+    }
+}
