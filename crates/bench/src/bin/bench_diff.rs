@@ -102,5 +102,11 @@ fn print_usage() {
     eprintln!("(e.g. --wall-tolerance 0.5 fails workloads that got >50% slower). The");
     eprintln!("deterministic critical-path statistics follow the same policy under");
     eprintln!("--cp-tolerance (e.g. 0.0 fails any makespan/stall growth).");
-    eprintln!("Exit: 0 identical, 1 gated differences, 2 usage/parse error.");
+    eprintln!();
+    eprintln!("Exit codes:");
+    eprintln!("  0  gate passes: model costs and quality identical to the baseline");
+    eprintln!("  1  gated differences found: a regression, an improvement awaiting a");
+    eprintln!("     deliberate baseline refresh, or structural drift (schema version,");
+    eprintln!("     workload matrix, instance shape)");
+    eprintln!("  2  usage, I/O, or parse error — nothing was compared");
 }

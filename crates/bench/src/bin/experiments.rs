@@ -12,6 +12,7 @@
 //! experiments bench --out B.json    # choose the output path
 //! experiments bench --repeat 5      # min-of-5 wall-clock (stable timing)
 //! experiments bench --quick --graph g.col       # add file workloads
+//! experiments bench --tier huge     # out-of-core 1e8-edge tier (nightly)
 //! experiments --list                # enumerate experiments and workloads
 //! ```
 //!
@@ -37,6 +38,7 @@ struct Options {
     quick: bool,
     full: bool,
     out: Option<String>,
+    tier: Option<String>,
     graph: Option<String>,
     repeat: Option<usize>,
     executor: Option<ExecutorKind>,
@@ -80,6 +82,17 @@ fn main() {
                         .unwrap_or_else(|| usage("--out needs a file path"))
                         .clone(),
                 );
+            }
+            "--tier" => {
+                i += 1;
+                let name = args.get(i).unwrap_or_else(|| usage("--tier needs a name"));
+                if name != "huge" {
+                    usage(&format!(
+                        "unknown tier {name:?}; the only out-of-matrix tier is \"huge\" \
+                         (--quick/--full select the in-matrix tiers)"
+                    ));
+                }
+                opt.tier = Some(name.clone());
             }
             "--graph" => {
                 i += 1;
@@ -171,6 +184,10 @@ fn run_bench(opt: &Options) {
     if opt.quick && opt.full {
         usage("--quick and --full are mutually exclusive");
     }
+    if opt.tier.is_some() {
+        run_bench_huge(opt);
+        return;
+    }
     let suite = if opt.quick {
         BenchSuite::Quick
     } else {
@@ -218,18 +235,51 @@ fn run_bench(opt: &Options) {
     );
 }
 
+/// `experiments bench --tier huge`: the flag-gated out-of-core tier
+/// (nightly-only in CI; see `mwvc_bench::huge`). Never part of the perf
+/// gate, so it ignores no flags silently — the matrix-only ones are
+/// rejected.
+fn run_bench_huge(opt: &Options) {
+    if opt.quick || opt.full || opt.graph.is_some() || opt.executor_set || opt.scheduler.is_some() {
+        usage(
+            "--tier huge runs a fixed out-of-core workload; it cannot be combined with \
+               --quick/--full/--graph/--executor/--scheduler",
+        );
+    }
+    if opt.repeat.is_some() {
+        usage("--repeat is not supported for --tier huge (one run is minutes long)");
+    }
+    let params = mwvc_bench::huge::HugeParams::from_env().unwrap_or_else(|e| usage(&e));
+    let out_path = opt.out.clone().unwrap_or_else(|| "BENCH_huge.json".into());
+    let start = Instant::now();
+    let (report, table) = mwvc_bench::huge::run_huge(&params).unwrap_or_else(|e| {
+        eprintln!("error: huge tier failed: {e}");
+        std::process::exit(2);
+    });
+    emit_tables("bench-huge", &[table], &opt.csv_dir);
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "[bench] wrote {out_path} (huge tier) in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+}
+
 /// Classic experiment tables (`e01`..`e13`, `scaling`, `rounds`,
 /// `compress`, `all`).
 fn run_tables(opt: &Options) {
     if opt.quick
         || opt.full
         || opt.out.is_some()
+        || opt.tier.is_some()
         || opt.graph.is_some()
         || opt.repeat.is_some()
         || opt.scheduler.is_some()
     {
         usage(
-            "--quick/--full/--out/--graph/--repeat/--scheduler apply to the 'bench' \
+            "--quick/--full/--out/--tier/--graph/--repeat/--scheduler apply to the 'bench' \
              subcommand only",
         );
     }
@@ -320,6 +370,10 @@ fn print_usage() {
     eprintln!(
         "       experiments bench [--quick | --full] [--out PATH] [--threads N] \
          [--executor NAME|both] [--scheduler barrier|pipelined] [--graph FILE] [--repeat N]"
+    );
+    eprintln!(
+        "       experiments bench --tier huge [--out PATH]   # out-of-core 1e8-edge run \
+         (nightly; HUGE_* env overrides)"
     );
     eprintln!("       experiments --list");
 }

@@ -105,6 +105,22 @@ impl DiffResult {
                 self.findings.len(),
                 self.compared
             ));
+            // A schema-version mismatch explains most other drift, so name
+            // both versions up front instead of letting the reader infer
+            // the cause from a matrix-mismatch table.
+            if let Some(f) = self
+                .findings
+                .iter()
+                .find(|f| f.workload == "<report>" && f.field == "schema_version")
+            {
+                out.push_str(&format!(
+                    "error: schema versions differ — baseline is v{}, candidate is v{}; \
+                     regenerate the stale report (cargo run --release --bin experiments -- \
+                     bench --quick --out benchmarks/baseline.json) instead of comparing \
+                     across schemas\n",
+                    f.baseline, f.candidate
+                ));
+            }
             // Per-entry findings only; the "<report>" zero-overlap
             // pseudo-finding shares the field name but is not an entry.
             let missing = self
@@ -609,5 +625,25 @@ mod tests {
         cand.schema_version = 0;
         let d = diff_reports(&base, &cand, DiffOptions::default());
         assert!(d.findings.iter().any(|f| f.field == "schema_version"));
+    }
+
+    #[test]
+    fn schema_version_mismatch_names_both_versions_up_front() {
+        use crate::schema::SCHEMA_VERSION;
+        let base = synthetic_report();
+        let mut cand = base.clone();
+        cand.schema_version = SCHEMA_VERSION - 1;
+        let rendered = diff_reports(&base, &cand, DiffOptions::default()).render();
+        assert!(
+            rendered.contains(&format!(
+                "baseline is v{SCHEMA_VERSION}, candidate is v{}",
+                SCHEMA_VERSION - 1
+            )),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("regenerate the stale report"),
+            "{rendered}"
+        );
     }
 }

@@ -341,6 +341,7 @@ pub fn run_on_instance_repeat(
             total_message_words: traffic.total_message_words as i64,
             peak_round_words: traffic.peak_round_words as i64,
             peak_resident_words: traffic.peak_resident_words as i64,
+            spill_words: traffic.spill_words as i64,
             violations: traffic.violations as i64,
         },
         quality: Quality {

@@ -24,6 +24,7 @@
 pub mod diff;
 pub mod experiments;
 pub mod harness;
+pub mod huge;
 pub mod json;
 pub mod schema;
 pub mod table;

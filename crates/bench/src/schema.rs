@@ -22,7 +22,11 @@ use crate::json::Json;
 /// v3: rows carry the deterministic critical-path statistics
 /// (`"critical_path"`) and the ungated per-round host wall-clock
 /// (`"round_wall_s"`).
-pub const SCHEMA_VERSION: i64 = 3;
+///
+/// v4: `"model"` gained `"spill_words"` — words written to per-machine
+/// spill files under an enforced memory budget (0 for fully resident
+/// runs). Gated like every other model field.
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// Model-side costs of one workload run: exactly what the paper's MPC
 /// model charges for, as measured by the audited distributed executor.
@@ -42,6 +46,10 @@ pub struct ModelCosts {
     pub peak_round_words: i64,
     /// Largest per-machine resident memory in any round.
     pub peak_resident_words: i64,
+    /// Words written to per-machine spill files over the run (nonzero
+    /// only when an enforced memory budget forced the working set out of
+    /// core).
+    pub spill_words: i64,
     /// Model-constraint breaches (must be 0 under strict enforcement).
     pub violations: i64,
 }
@@ -183,6 +191,7 @@ impl ModelCosts {
                 "peak_resident_words".into(),
                 Json::Int(self.peak_resident_words),
             ),
+            ("spill_words".into(), Json::Int(self.spill_words)),
             ("violations".into(), Json::Int(self.violations)),
         ])
     }
@@ -196,6 +205,7 @@ impl ModelCosts {
         "total_message_words",
         "peak_round_words",
         "peak_resident_words",
+        "spill_words",
         "violations",
     ];
 
@@ -208,6 +218,7 @@ impl ModelCosts {
             "total_message_words" => self.total_message_words,
             "peak_round_words" => self.peak_round_words,
             "peak_resident_words" => self.peak_resident_words,
+            "spill_words" => self.spill_words,
             "violations" => self.violations,
             other => unreachable!("unknown model field {other}"),
         }
@@ -218,7 +229,15 @@ impl ModelCosts {
         self.get(name)
     }
 
-    fn from_json(j: &Json, ctx: &str) -> Result<Self, String> {
+    fn from_json(j: &Json, ctx: &str, schema_version: i64) -> Result<Self, String> {
+        // v3 reports predate spill accounting; every pre-v4 run was fully
+        // resident, so 0 is the faithful value — and the schema_version
+        // mismatch stays bench-diff's finding, not a parse error.
+        let spill_words = if schema_version < 4 {
+            req_int(j, "spill_words", ctx).unwrap_or(0)
+        } else {
+            req_int(j, "spill_words", ctx)?
+        };
         Ok(ModelCosts {
             phases: req_int(j, "phases", ctx)?,
             mpc_rounds: req_int(j, "mpc_rounds", ctx)?,
@@ -227,6 +246,7 @@ impl ModelCosts {
             total_message_words: req_int(j, "total_message_words", ctx)?,
             peak_round_words: req_int(j, "peak_round_words", ctx)?,
             peak_resident_words: req_int(j, "peak_resident_words", ctx)?,
+            spill_words,
             violations: req_int(j, "violations", ctx)?,
         })
     }
@@ -359,6 +379,7 @@ impl WorkloadReport {
             model: ModelCosts::from_json(
                 j.get("model").ok_or(format!("{ctx}: missing model"))?,
                 &ctx,
+                schema_version,
             )?,
             quality: Quality::from_json(
                 j.get("quality").ok_or(format!("{ctx}: missing quality"))?,
@@ -462,6 +483,7 @@ pub fn synthetic_report() -> BenchReport {
                     total_message_words: 9000,
                     peak_round_words: 700,
                     peak_resident_words: 3000,
+                    spill_words: 0,
                     violations: 0,
                 },
                 quality: Quality {
@@ -497,6 +519,7 @@ pub fn synthetic_report() -> BenchReport {
                     total_message_words: 12000,
                     peak_round_words: 800,
                     peak_resident_words: 3500,
+                    spill_words: 256,
                     violations: 0,
                 },
                 quality: Quality {
@@ -603,6 +626,29 @@ mod tests {
         // At the current schema the fields are required.
         let err = BenchReport::from_json(&stripped_report(SCHEMA_VERSION)).unwrap_err();
         assert!(err.contains("critical_path"), "{err}");
+    }
+
+    #[test]
+    fn v3_report_without_spill_words_parses_for_the_diff_gate() {
+        // A pre-v4 report has no spill_words; every such run was fully
+        // resident, so the 0 default is faithful and the version mismatch
+        // stays bench-diff's finding.
+        let mut report = synthetic_report();
+        report.schema_version = 3;
+        let text = report
+            .to_json()
+            .replace("        \"spill_words\": 0,\n", "")
+            .replace("        \"spill_words\": 256,\n", "");
+        assert!(!text.contains("spill_words"));
+        let back = BenchReport::from_json(&text).expect("v3 parses");
+        assert!(back.workloads.iter().all(|w| w.model.spill_words == 0));
+        // At the current schema the field is required.
+        let v4 = synthetic_report()
+            .to_json()
+            .replace("        \"spill_words\": 0,\n", "")
+            .replace("        \"spill_words\": 256,\n", "");
+        let err = BenchReport::from_json(&v4).unwrap_err();
+        assert!(err.contains("spill_words"), "{err}");
     }
 
     #[test]

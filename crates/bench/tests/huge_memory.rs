@@ -1,0 +1,92 @@
+//! Host-memory audit of the huge tier: the out-of-core pipeline must
+//! never hold the edge set in RAM.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]` — something exactly one crate per
+//! process may do. The simulator's word-level accounting already bounds
+//! *model* memory; this test closes the loop on *host* memory by running
+//! the identical `run_huge` code path at smoke scale and asserting that
+//! peak net heap growth stays strictly below the on-disk edge bytes.
+
+use mwvc_bench::huge::{run_huge, HugeParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapped with live/peak byte counters. `realloc` and
+/// `alloc_zeroed` use the `GlobalAlloc` defaults, which route through
+/// `alloc`/`dealloc` and therefore stay counted.
+struct CountingAlloc;
+
+// SAFETY: every call forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are side effects on atomics and
+// never touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: the caller guarantees `layout` is valid; forwarded
+        // unchanged to the system allocator.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        // SAFETY: the caller guarantees `ptr` came from this allocator
+        // with this `layout`; forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Smoke-scale huge run, sized so the on-disk instance is megabytes
+/// while the enforced per-machine budget (and hence any honest host
+/// footprint) is far smaller: ~586k built edges ≈ 9.4 MB of half-edge
+/// words on disk against S = 14·n = 70_000 words per machine.
+fn smoke_params() -> HugeParams {
+    HugeParams {
+        n: 5_000,
+        edges: 600_000,
+        machines: 3,
+        memory_factor: 14,
+        byte_budget: 1 << 20,
+        batch_words: 512,
+        epsilon: 0.1,
+        max_iterations: 40,
+        seed: 7,
+    }
+}
+
+#[test]
+fn huge_smoke_never_holds_the_edge_set_in_host_memory() {
+    let before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(before, Ordering::Relaxed);
+    let (report, _) = run_huge(&smoke_params()).expect("huge smoke run");
+    let peak_growth = PEAK.load(Ordering::Relaxed).saturating_sub(before);
+
+    let row = &report.workloads[0];
+    // 2 half-edge words of 8 bytes per built edge — the payload an
+    // in-memory executor would have to hold.
+    let edge_bytes = 2 * 8 * row.m as usize;
+    assert!(
+        edge_bytes > 4 << 20,
+        "instance too small ({edge_bytes} edge bytes) for the audit to mean anything"
+    );
+    assert!(
+        row.model.spill_words > 0,
+        "the run must actually exercise the spill path"
+    );
+    assert_eq!(row.model.violations, 0);
+    assert!(
+        peak_growth < edge_bytes,
+        "peak heap growth {peak_growth} B reached the edge-set size {edge_bytes} B — \
+         the pipeline is no longer out-of-core"
+    );
+}

@@ -34,6 +34,8 @@
 //!   (fractional matching) certificates giving instance-specific
 //!   approximation guarantees via weak LP duality (Lemma 3.2).
 
+#![warn(missing_docs)]
+
 pub mod centralized;
 pub mod certificate;
 pub mod cover;

@@ -106,6 +106,29 @@ pub struct ExecutorOutcome {
 
 /// A complete MWVC algorithm the harness can run on any instance. See the
 /// module docs for the contract.
+///
+/// # Examples
+///
+/// Every implementation runs the same way: hand it a weighted graph, get
+/// back a certified cover plus the model-side bill. Quality is judged
+/// through the certificate, never by trusting the cover:
+///
+/// ```
+/// use mwvc_core::mpc::{DistributedExecutor, Executor, MpcMwvcConfig};
+/// use mwvc_graph::{generators::gnm, EdgeIndex, WeightModel, WeightedGraph};
+///
+/// let graph = gnm(300, 2_400, 7);
+/// let weights = WeightModel::Uniform { lo: 1.0, hi: 10.0 }.sample(&graph, 7);
+/// let wg = WeightedGraph::new(graph, weights);
+///
+/// let exec = DistributedExecutor::new(MpcMwvcConfig::practical(0.1, 42));
+/// assert_eq!(exec.name(), "distributed");
+/// let out = exec.run(&wg);
+///
+/// let eidx = EdgeIndex::build(&wg.graph);
+/// out.solution.verify(&wg, &eidx).expect("feasible, certified cover");
+/// assert!(out.cost.mpc_rounds > 0);
+/// ```
 pub trait Executor {
     /// Stable lowercase identifier; appears in benchmark workload ids.
     fn name(&self) -> &'static str;

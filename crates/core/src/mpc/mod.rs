@@ -24,6 +24,7 @@ pub mod coupling;
 pub mod distributed;
 pub mod executor;
 pub mod local_sim;
+pub mod outofcore;
 pub mod reference;
 pub mod stats;
 
@@ -33,5 +34,6 @@ pub use distributed::{recommended_cluster, run_distributed, DistributedOutcome};
 pub use executor::{
     CoverCertificate, DistributedExecutor, Executor, ExecutorOutcome, ReferenceExecutor,
 };
+pub use outofcore::{run_outofcore, OocConfig, OocOutcome};
 pub use reference::{run_reference, run_reference_observed, PhaseObserver, PhaseSnapshot};
 pub use stats::{CostReport, FinalPhaseStats, MpcRunResult, PhaseStats, TrafficCosts};

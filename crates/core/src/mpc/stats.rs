@@ -87,6 +87,10 @@ pub struct TrafficCosts {
     pub peak_resident_words: usize,
     /// Recorded model-constraint breaches (zero under strict enforcement).
     pub violations: usize,
+    /// Total words written to per-machine spill files over the run
+    /// (nonzero only under [`mpc_sim::MemoryBudget::Enforced`] when a
+    /// machine's working set actually overflowed its budget).
+    pub spill_words: u64,
 }
 
 /// The structured model-cost report of an Algorithm 2 execution: every
@@ -122,6 +126,7 @@ impl CostReport {
                 peak_round_words: s.peak_round_words,
                 peak_resident_words: s.peak_resident_words,
                 violations: s.violations,
+                spill_words: s.spill_words,
             }),
         }
     }
@@ -212,6 +217,7 @@ mod tests {
                 max_received: 9,
                 max_resident: 40,
                 total_traffic: 16,
+                spill_words: 5,
             }],
             violations: vec![],
             critical_path: Default::default(),
@@ -227,6 +233,7 @@ mod tests {
         assert_eq!(t.peak_round_words, 9);
         assert_eq!(t.peak_resident_words, 40);
         assert_eq!(t.violations, 0);
+        assert_eq!(t.spill_words, 5);
     }
 
     #[test]

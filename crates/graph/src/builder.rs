@@ -3,6 +3,25 @@
 use crate::csr::{Graph, VertexId};
 use rayon::prelude::*;
 
+/// Anything that can absorb a stream of undirected edges: the in-memory
+/// [`GraphBuilder`] and the byte-budgeted
+/// [`StreamingGraphBuilder`](crate::outofcore::StreamingGraphBuilder)
+/// both implement it, so generators and file parsers written against
+/// this trait feed either construction path from the identical edge
+/// sequence — the basis of the streamed-equals-in-memory guarantee.
+pub trait EdgeSink {
+    /// Adds the undirected edge `(u, v)`. Duplicates are allowed (sinks
+    /// deduplicate at finalization); self-loops panic.
+    fn add_edge(&mut self, u: VertexId, v: VertexId);
+}
+
+impl EdgeSink for GraphBuilder {
+    #[inline]
+    fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        GraphBuilder::add_edge(self, u, v);
+    }
+}
+
 /// Below this half-edge count the sequential finalization wins (the
 /// parallel path produces identical output, so the cutover is invisible).
 const PARALLEL_BUILD_MIN_HALF_EDGES: usize = 1 << 14;

@@ -13,14 +13,19 @@
 //! * `grid` / `tree` / `star` / `clique` / `barbell` / `disjoint_cliques`
 //!   / `random_bipartite` — structured instances with known covers,
 //! * `planted_cover` — instances whose optimal weighted cover is known by
-//!   construction, for ratio measurements without an exact solver.
+//!   construction, for ratio measurements without an exact solver,
+//! * `gnm_stream` — an `O(1)`-state Erdős–Rényi variant that can feed the
+//!   out-of-core build path ([`crate::outofcore`]) without holding the
+//!   edge set in RAM.
 
 mod classic;
 mod planted;
 mod random;
+mod stream;
 
 pub use classic::{
     barbell, clique, disjoint_cliques, grid, low_arboricity, path, star, star_composite, tree,
 };
 pub use planted::{planted_cover, PlantedInstance};
 pub use random::{chung_lu, gnm, gnp, random_bipartite, random_regular, rmat, RmatParams};
+pub use stream::{gnm_stream, gnm_stream_into};

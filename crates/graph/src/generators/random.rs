@@ -29,7 +29,7 @@ fn rng_for(seed: u64, salt: u64) -> ChaCha8Rng {
 const GEN_CHUNKS: u64 = 64;
 
 /// Splits `0..total` into at most [`GEN_CHUNKS`] contiguous ranges.
-fn chunk_ranges(total: u64) -> Vec<(u64, u64)> {
+pub(super) fn chunk_ranges(total: u64) -> Vec<(u64, u64)> {
     if total == 0 {
         return Vec::new();
     }
@@ -44,7 +44,7 @@ fn chunk_ranges(total: u64) -> Vec<(u64, u64)> {
 /// indexed-substream scheme (commutative mixing collides; chaining does
 /// not). Chunks draw independently, so any chunk can be generated on any
 /// thread without affecting any other chunk's stream.
-fn chunk_rng(seed: u64, salt: u64, chunk: u64) -> ChaCha8Rng {
+pub(super) fn chunk_rng(seed: u64, salt: u64, chunk: u64) -> ChaCha8Rng {
     const CHUNK_LEAF: u64 = 0x4745_4e5f_4348_554e; // "GEN_CHUN"
     fn splitmix64(mut x: u64) -> u64 {
         x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -133,7 +133,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 
 /// Maps a linear index in `0..n(n-1)/2` to the lexicographically ordered
 /// pair `(u, v)` with `u < v`.
-fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+pub(super) fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
     // Row u starts at offset f(u) = u*n - u*(u+1)/2. Solve for the largest
     // u with f(u) <= idx via the quadratic formula, then fix up.
     let fi = idx as f64;

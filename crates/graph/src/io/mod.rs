@@ -1,10 +1,15 @@
-//! Graph (de)serialization: plain edge lists and DIMACS.
+//! Graph (de)serialization: plain edge lists and DIMACS, with both
+//! in-memory loaders and streaming readers that feed an
+//! [`EdgeSink`](crate::builder::EdgeSink) edge-by-edge for out-of-core
+//! construction.
 
 mod dimacs;
 mod edgelist;
+mod stream;
 
 pub use dimacs::{read_dimacs, write_dimacs};
 pub use edgelist::{read_edge_list, write_edge_list};
+pub use stream::{peek_vertex_count, stream_edges_into};
 
 use std::fmt;
 
@@ -14,7 +19,12 @@ pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Malformed content with a line number and message.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number of the defect (0 when unknown).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for IoError {

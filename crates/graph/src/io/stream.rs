@@ -1,0 +1,284 @@
+//! Streaming file readers: parse a graph file edge-by-edge into an
+//! [`EdgeSink`] without materializing the edge set, so
+//! [`GraphPreset::File`](crate::presets::GraphPreset) instances can be
+//! routed through the out-of-core build path
+//! ([`crate::outofcore::StreamingGraphBuilder`]).
+//!
+//! The grammar and validation match the in-memory loaders
+//! ([`read_edge_list`](super::read_edge_list) /
+//! [`read_dimacs`](super::read_dimacs)) exactly; only the destination
+//! differs, so the streamed graph equals the loaded one. Weight lines
+//! are validated but not collected — weights are `O(n)` and are loaded
+//! separately when needed.
+//!
+//! Because a sink must be sized before the first edge,
+//! [`peek_vertex_count`] reads just the header (the leading vertex-count
+//! line, or the DIMACS `p` line); callers peek, construct the sink, then
+//! [`stream_edges_into`] with a fresh reader.
+
+use super::{parse_err, IoError};
+use crate::builder::EdgeSink;
+use crate::csr::VertexId;
+use crate::presets::GraphFileFormat;
+use std::io::{BufRead, BufReader, Read};
+
+/// Reads only as far as needed to learn the vertex count: the first
+/// non-comment line of an edge list, or the `p` line of a DIMACS file.
+pub fn peek_vertex_count<R: Read>(reader: R, format: GraphFileFormat) -> Result<usize, IoError> {
+    let lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let t = line.trim();
+        match format {
+            GraphFileFormat::EdgeList => {
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                return t
+                    .parse()
+                    .map_err(|_| parse_err(line_no, format!("bad vertex count {t:?}")));
+            }
+            GraphFileFormat::Dimacs => {
+                if t.is_empty() || t.starts_with('c') {
+                    continue;
+                }
+                let mut it = t.split_whitespace();
+                if it.next() != Some("p") {
+                    return Err(parse_err(line_no, "expected problem line first"));
+                }
+                let kind = it.next().unwrap_or("");
+                if kind != "edge" && kind != "col" {
+                    return Err(parse_err(
+                        line_no,
+                        format!("unsupported problem type {kind:?}"),
+                    ));
+                }
+                return it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "problem line missing n"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad n"));
+            }
+        }
+    }
+    Err(parse_err(0, "empty input: expected vertex count"))
+}
+
+/// Streams every edge of the file into `sink` (in file order, so the
+/// resulting graph equals the in-memory loader's), validating with the
+/// same rules as the loaders. Weight lines are checked and skipped.
+/// Returns the vertex count.
+pub fn stream_edges_into<R: Read>(
+    reader: R,
+    format: GraphFileFormat,
+    sink: &mut impl EdgeSink,
+) -> Result<usize, IoError> {
+    match format {
+        GraphFileFormat::EdgeList => stream_edge_list(reader, sink),
+        GraphFileFormat::Dimacs => stream_dimacs(reader, sink),
+    }
+}
+
+fn stream_edge_list<R: Read>(reader: R, sink: &mut impl EdgeSink) -> Result<usize, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+    let n: usize = loop {
+        let line = match lines.next() {
+            Some(l) => l?,
+            None => return Err(parse_err(0, "empty input: expected vertex count")),
+        };
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        break t
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad vertex count {t:?}")))?;
+    };
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let first = it.next().unwrap();
+        if first == "w" {
+            let v: usize = it
+                .next()
+                .ok_or_else(|| parse_err(line_no, "weight line missing vertex"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "bad vertex id in weight line"))?;
+            let w: f64 = it
+                .next()
+                .ok_or_else(|| parse_err(line_no, "weight line missing value"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "bad weight value"))?;
+            if v >= n {
+                return Err(parse_err(line_no, format!("vertex {v} out of range")));
+            }
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(parse_err(line_no, format!("weight {w} must be positive")));
+            }
+            continue;
+        }
+        let u: VertexId = first
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad endpoint {first:?}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(line_no, "edge line missing second endpoint"))?
+            .parse()
+            .map_err(|_| parse_err(line_no, "bad second endpoint"))?;
+        if u as usize >= n || v as usize >= n {
+            return Err(parse_err(line_no, format!("edge ({u},{v}) out of range")));
+        }
+        if u == v {
+            return Err(parse_err(line_no, format!("self-loop at {u}")));
+        }
+        sink.add_edge(u, v);
+    }
+    Ok(n)
+}
+
+fn stream_dimacs<R: Read>(reader: R, sink: &mut impl EdgeSink) -> Result<usize, IoError> {
+    let reader = BufReader::new(reader);
+    let mut n: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match it.next().unwrap() {
+            "p" => {
+                if n.is_some() {
+                    return Err(parse_err(line_no, "duplicate problem line"));
+                }
+                let kind = it.next().unwrap_or("");
+                if kind != "edge" && kind != "col" {
+                    return Err(parse_err(
+                        line_no,
+                        format!("unsupported problem type {kind:?}"),
+                    ));
+                }
+                n = Some(
+                    it.next()
+                        .ok_or_else(|| parse_err(line_no, "problem line missing n"))?
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "bad n"))?,
+                );
+            }
+            "e" => {
+                let n = n.ok_or_else(|| parse_err(line_no, "edge before problem line"))?;
+                let u: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "edge missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad endpoint"))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "edge missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad endpoint"))?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(parse_err(line_no, format!("edge ({u},{v}) out of 1..=n")));
+                }
+                if u == v {
+                    return Err(parse_err(line_no, "self-loop"));
+                }
+                sink.add_edge((u - 1) as VertexId, (v - 1) as VertexId);
+            }
+            "n" => {
+                let n = n.ok_or_else(|| parse_err(line_no, "node line before problem line"))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "node line missing vertex"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad vertex"))?;
+                let w: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "node line missing weight"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad weight"))?;
+                if v == 0 || v > n {
+                    return Err(parse_err(line_no, format!("vertex {v} out of 1..=n")));
+                }
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err(parse_err(line_no, "weight must be positive"));
+                }
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown line type {other:?}")));
+            }
+        }
+    }
+    n.ok_or_else(|| parse_err(0, "missing problem line"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{read_dimacs, read_edge_list};
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    const EDGELIST: &str = "# demo\n5\nw 1 2.5\n0 1\n1 2\n2 3\n3 4\n0 4\n";
+    const DIMACS: &str = "c demo\np edge 5 5\nn 2 2.5\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 1 5\n";
+
+    #[test]
+    fn peek_matches_loader() {
+        assert_eq!(
+            peek_vertex_count(EDGELIST.as_bytes(), GraphFileFormat::EdgeList).unwrap(),
+            5
+        );
+        assert_eq!(
+            peek_vertex_count(DIMACS.as_bytes(), GraphFileFormat::Dimacs).unwrap(),
+            5
+        );
+        assert!(peek_vertex_count("".as_bytes(), GraphFileFormat::EdgeList).is_err());
+        assert!(peek_vertex_count("e 1 2\n".as_bytes(), GraphFileFormat::Dimacs).is_err());
+    }
+
+    #[test]
+    fn streamed_graph_equals_loaded_graph() {
+        for (text, format, load) in [
+            (
+                EDGELIST,
+                GraphFileFormat::EdgeList,
+                read_edge_list(EDGELIST.as_bytes()).unwrap(),
+            ),
+            (
+                DIMACS,
+                GraphFileFormat::Dimacs,
+                read_dimacs(DIMACS.as_bytes()).unwrap(),
+            ),
+        ] {
+            let n = peek_vertex_count(text.as_bytes(), format).unwrap();
+            let mut b = GraphBuilder::new(n);
+            let n2 = stream_edges_into(text.as_bytes(), format, &mut b).unwrap();
+            assert_eq!(n, n2);
+            assert_eq!(b.build(), load.graph);
+        }
+    }
+
+    #[test]
+    fn streaming_keeps_loader_validation() {
+        let mut b = GraphBuilder::new(2);
+        assert!(
+            stream_edges_into("2\n0 5\n".as_bytes(), GraphFileFormat::EdgeList, &mut b).is_err()
+        );
+        let mut b = GraphBuilder::new(2);
+        assert!(stream_edges_into(
+            "p edge 2 1\ne 1 1\n".as_bytes(),
+            GraphFileFormat::Dimacs,
+            &mut b
+        )
+        .is_err());
+    }
+}

@@ -13,7 +13,11 @@
 //!   covers, …),
 //! * [`presets`] — named, size-scaled workload families on top of the
 //!   generators (the benchmark matrix's generator axis),
-//! * [`io`] — plain edge-list and DIMACS reading/writing,
+//! * [`outofcore`] — a chunked on-disk CSR format plus a byte-budgeted
+//!   streaming builder and bounded [`outofcore::BucketStream`] reader,
+//!   for instances that must not fit in RAM,
+//! * [`io`] — plain edge-list and DIMACS reading/writing (in-memory and
+//!   streaming),
 //! * [`subgraph`] / [`partition`] — induced subgraphs and random vertex
 //!   partitions (the core operation of MPC round compression),
 //! * [`stats`] / [`validate`] — degree statistics and structural checking.
@@ -21,11 +25,14 @@
 //! Vertices are dense `u32` identifiers `0..n`. All randomized components
 //! take explicit seeds and are fully deterministic given those seeds.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod csr;
 pub mod edge_index;
 pub mod generators;
 pub mod io;
+pub mod outofcore;
 pub mod partition;
 pub mod presets;
 pub mod stats;
@@ -33,9 +40,10 @@ pub mod subgraph;
 pub mod validate;
 pub mod weights;
 
-pub use builder::GraphBuilder;
+pub use builder::{EdgeSink, GraphBuilder};
 pub use csr::{Edge, Graph, VertexId};
 pub use edge_index::{EdgeId, EdgeIndex};
+pub use outofcore::{BucketStream, ChunkedCsr, StreamingGraphBuilder};
 pub use partition::VertexPartition;
 pub use presets::{GraphFileFormat, GraphPreset};
 pub use subgraph::InducedSubgraph;

@@ -1,0 +1,836 @@
+//! Out-of-core graph storage: a chunked on-disk CSR format, a streaming
+//! builder that sorts and deduplicates under an explicit byte budget, and
+//! a bounded-buffer bucket reader.
+//!
+//! # The format (`OCSR`, version 1)
+//!
+//! A chunked-CSR file holds the half-edge array of a simple undirected
+//! graph — every edge `{u, v}` appears twice, as `(u, v)` and `(v, u)` —
+//! globally sorted by `(src, dst)` and deduplicated, cut into fixed-size
+//! *buckets* of [`DEFAULT_BUCKET_ENTRIES`] entries each (only the last
+//! bucket may be short). Because the array is sorted by source, a bucket
+//! range is exactly a contiguous adjacency shard, and the per-bucket index
+//! (first source vertex + entry count) lets a consumer map any contiguous
+//! bucket range to the source-vertex span it covers without touching the
+//! payload.
+//!
+//! Layout, all little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "OCSR"
+//! 4       4     version (u32, = 1)
+//! 8       8     n          (u64, vertex count)
+//! 16      8     half_edges (u64, total entries = 2·m)
+//! 24      4     bucket_entries (u32, max entries per bucket)
+//! 28      4     reserved (0)
+//! 32      8     num_buckets (u64)
+//! 40      —     payload: half_edges × (src: u32, dst: u32)
+//! then    —     index: num_buckets × (first_src: u32, entries: u32)
+//! ```
+//!
+//! # Memory discipline
+//!
+//! [`StreamingGraphBuilder`] never holds more than its byte budget of
+//! half-edges in RAM: it accumulates packed half-edges into a bounded
+//! buffer, sorts and deduplicates bucket-by-bucket into on-disk *runs*,
+//! and k-way-merges the runs into the final bucketed file, splitting the
+//! same budget across the run readers. [`BucketStream`] reads buckets
+//! back through one reusable bucket-sized buffer. Peak resident memory of
+//! the whole build-then-stream pipeline is `O(byte_budget)` regardless of
+//! the edge count.
+//!
+//! The produced graph is **identical** to what [`GraphBuilder`](crate::GraphBuilder) builds
+//! from the same edge sequence: both paths end at the sorted, deduplicated
+//! half-edge array, so [`ChunkedCsr::load_graph`] on the file equals
+//! [`GraphBuilder::build`](crate::GraphBuilder::build) on the same inserts (pinned by tests).
+
+use crate::builder::EdgeSink;
+use crate::csr::{Graph, VertexId};
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes of the chunked-CSR format.
+pub const OCSR_MAGIC: [u8; 4] = *b"OCSR";
+/// Current format version.
+pub const OCSR_VERSION: u32 = 1;
+/// Byte offset where the bucket payload starts.
+const HEADER_BYTES: u64 = 40;
+/// Default entries per bucket (64 Ki half-edges = 512 KiB payload).
+pub const DEFAULT_BUCKET_ENTRIES: u32 = 1 << 16;
+/// Smallest half-edge buffer the streaming builder will run with, in
+/// entries; budgets below this are rounded up so the builder always
+/// makes progress.
+const MIN_BUFFER_ENTRIES: usize = 1 << 10;
+
+/// Packs a directed half-edge into one `u64` word (`src` in the high
+/// half), preserving `(src, dst)` lexicographic order under integer
+/// comparison.
+#[inline]
+pub fn pack_half_edge(src: VertexId, dst: VertexId) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// Inverse of [`pack_half_edge`].
+#[inline]
+pub fn unpack_half_edge(packed: u64) -> (VertexId, VertexId) {
+    ((packed >> 32) as VertexId, packed as u32)
+}
+
+fn io_err<T>(path: &Path, what: &str, e: std::io::Error) -> Result<T, String> {
+    Err(format!("{what} {path:?}: {e}"))
+}
+
+/// Reinterprets a word slice as bytes for bulk file I/O.
+fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding; every byte pattern is valid; the length
+    // is scaled by the element size. Lifetime is tied to the input slice.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// Reinterprets a mutable word slice as bytes for bulk file I/O.
+fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as in `words_as_bytes`, and any byte pattern read into the
+    // buffer is a valid u64. Files written by this module are same-machine
+    // temporaries, so no endianness conversion is needed.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// One entry of the bucket index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketIndexEntry {
+    /// Source vertex of the bucket's first half-edge.
+    pub first_src: VertexId,
+    /// Number of half-edges stored in the bucket (equals the file's
+    /// `bucket_entries` for every bucket but possibly the last).
+    pub entries: u32,
+}
+
+/// An opened chunked-CSR file: the parsed header and bucket index (a few
+/// words per bucket — the only part held in RAM) plus the path, from
+/// which any number of independent [`BucketStream`] readers can be
+/// opened. Cheap to share across threads; holds no file handle itself.
+#[derive(Debug, Clone)]
+pub struct ChunkedCsr {
+    path: PathBuf,
+    n: u64,
+    half_edges: u64,
+    bucket_entries: u32,
+    index: Vec<BucketIndexEntry>,
+}
+
+impl ChunkedCsr {
+    /// Opens and validates a chunked-CSR file, reading only the header
+    /// and the bucket index.
+    pub fn open(path: impl Into<PathBuf>) -> Result<ChunkedCsr, String> {
+        let path = path.into();
+        let mut f = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) => return io_err(&path, "cannot open", e),
+        };
+        let mut header = [0u8; HEADER_BYTES as usize];
+        if let Err(e) = f.read_exact(&mut header) {
+            return io_err(&path, "cannot read header of", e);
+        }
+        if header[0..4] != OCSR_MAGIC {
+            return Err(format!("{path:?} is not a chunked-CSR file (bad magic)"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != OCSR_VERSION {
+            return Err(format!(
+                "{path:?} has chunked-CSR version {version}, this build reads {OCSR_VERSION}"
+            ));
+        }
+        let n = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let half_edges = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let bucket_entries = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        let num_buckets = u64::from_le_bytes(header[32..40].try_into().unwrap());
+        if bucket_entries == 0 {
+            return Err(format!("{path:?}: zero bucket size"));
+        }
+        if num_buckets != half_edges.div_ceil(bucket_entries as u64) {
+            return Err(format!(
+                "{path:?}: bucket count {num_buckets} inconsistent with \
+                 {half_edges} entries of {bucket_entries}"
+            ));
+        }
+        if let Err(e) = f.seek(SeekFrom::Start(HEADER_BYTES + half_edges * 8)) {
+            return io_err(&path, "cannot seek to index of", e);
+        }
+        let mut raw = vec![0u8; num_buckets as usize * 8];
+        if let Err(e) = f.read_exact(&mut raw) {
+            return io_err(&path, "cannot read bucket index of", e);
+        }
+        let index: Vec<BucketIndexEntry> = raw
+            .chunks_exact(8)
+            .map(|c| BucketIndexEntry {
+                first_src: u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                entries: u32::from_le_bytes(c[4..8].try_into().unwrap()),
+            })
+            .collect();
+        let indexed: u64 = index.iter().map(|b| b.entries as u64).sum();
+        if indexed != half_edges {
+            return Err(format!(
+                "{path:?}: index covers {indexed} entries, header says {half_edges}"
+            ));
+        }
+        Ok(ChunkedCsr {
+            path,
+            n,
+            half_edges,
+            bucket_entries,
+            index,
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of undirected edges (half the stored entries).
+    pub fn num_edges(&self) -> u64 {
+        self.half_edges / 2
+    }
+
+    /// Number of stored half-edges (`2·m`).
+    pub fn num_half_edges(&self) -> u64 {
+        self.half_edges
+    }
+
+    /// Maximum entries per bucket.
+    pub fn bucket_entries(&self) -> u32 {
+        self.bucket_entries
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The bucket index: first source vertex and entry count per bucket.
+    pub fn bucket_index(&self) -> &[BucketIndexEntry] {
+        &self.index
+    }
+
+    /// Total half-edges in the contiguous bucket range `lo..hi`.
+    pub fn entries_in_buckets(&self, lo: usize, hi: usize) -> u64 {
+        self.index[lo..hi].iter().map(|b| b.entries as u64).sum()
+    }
+
+    /// Opens a reader over the contiguous bucket range `lo..hi` with its
+    /// own file handle (independent readers may stream concurrently).
+    pub fn stream_range(&self, lo: usize, hi: usize) -> Result<BucketStream, String> {
+        assert!(
+            lo <= hi && hi <= self.index.len(),
+            "bucket range out of bounds"
+        );
+        let mut f = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) => return io_err(&self.path, "cannot open", e),
+        };
+        let first_entry: u64 = self.entries_in_buckets(0, lo);
+        if let Err(e) = f.seek(SeekFrom::Start(HEADER_BYTES + first_entry * 8)) {
+            return io_err(&self.path, "cannot seek in", e);
+        }
+        Ok(BucketStream {
+            file: f,
+            sizes: self.index[lo..hi].iter().map(|b| b.entries).collect(),
+            next: 0,
+            words: vec![0u64; self.bucket_entries as usize],
+            entries: Vec::with_capacity(self.bucket_entries as usize),
+        })
+    }
+
+    /// Opens a reader over every bucket.
+    pub fn stream(&self) -> Result<BucketStream, String> {
+        self.stream_range(0, self.index.len())
+    }
+
+    /// Degree of every vertex, computed in one bounded-memory pass over
+    /// the file (`O(n)` result + one bucket buffer).
+    pub fn degrees(&self) -> Result<Vec<u32>, String> {
+        let mut deg = vec![0u32; self.n as usize];
+        let mut s = self.stream()?;
+        while let Some(bucket) = s.next_bucket()? {
+            for &(src, _) in bucket {
+                deg[src as usize] += 1;
+            }
+        }
+        Ok(deg)
+    }
+
+    /// Materializes the full in-memory [`Graph`]. This intentionally
+    /// abandons the memory bound (`O(m)` RAM) — it exists for control
+    /// instances and tests that compare the streamed pipeline against the
+    /// in-memory one.
+    pub fn load_graph(&self) -> Result<Graph, String> {
+        let deg = self.degrees()?;
+        let n = self.n as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v] as usize;
+        }
+        let mut flat = vec![0 as VertexId; offsets[n]];
+        let mut write = 0usize;
+        let mut s = self.stream()?;
+        while let Some(bucket) = s.next_bucket()? {
+            for &(_, dst) in bucket {
+                flat[write] = dst;
+                write += 1;
+            }
+        }
+        debug_assert_eq!(write, offsets[n]);
+        Ok(Graph::from_csr_unchecked(offsets, flat))
+    }
+}
+
+/// A bounded-buffer reader over a contiguous bucket range of a
+/// [`ChunkedCsr`] file: one bucket of half-edges is resident at a time,
+/// in one buffer reused across buckets.
+pub struct BucketStream {
+    file: File,
+    /// Entry counts of the remaining buckets, in order.
+    sizes: Vec<u32>,
+    next: usize,
+    /// Reusable packed read buffer.
+    words: Vec<u64>,
+    /// Reusable decoded view handed to the caller.
+    entries: Vec<(VertexId, VertexId)>,
+}
+
+impl BucketStream {
+    /// Reads the next bucket into the reusable buffer, returning its
+    /// half-edges (sorted by `(src, dst)`), or `None` after the last
+    /// bucket of the range.
+    pub fn next_bucket(&mut self) -> Result<Option<&[(VertexId, VertexId)]>, String> {
+        let Some(&count) = self.sizes.get(self.next) else {
+            return Ok(None);
+        };
+        self.next += 1;
+        let count = count as usize;
+        self.words.resize(count, 0);
+        if let Err(e) = self.file.read_exact(words_as_bytes_mut(&mut self.words)) {
+            return Err(format!("short read in chunked-CSR payload: {e}"));
+        }
+        self.entries.clear();
+        self.entries.extend(
+            self.words
+                .iter()
+                .map(|&w| unpack_half_edge(u64::from_le(w))),
+        );
+        Ok(Some(&self.entries))
+    }
+
+    /// Buckets left to read (including the one `next_bucket` would return).
+    pub fn buckets_remaining(&self) -> usize {
+        self.sizes.len() - self.next
+    }
+}
+
+/// Streaming writer of a chunked-CSR file. Input must be strictly
+/// increasing packed half-edges (sorted, deduplicated); the writer cuts
+/// them into fixed-size buckets and assembles the index and header.
+struct ChunkedCsrWriter {
+    path: PathBuf,
+    file: File,
+    bucket_entries: u32,
+    bucket: Vec<u64>,
+    index: Vec<BucketIndexEntry>,
+    written: u64,
+    last: Option<u64>,
+}
+
+impl ChunkedCsrWriter {
+    fn create(path: &Path, n: u64, bucket_entries: u32) -> Result<Self, String> {
+        assert!(bucket_entries > 0);
+        let mut file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => return io_err(path, "cannot create", e),
+        };
+        // Placeholder header; half_edges and num_buckets are patched in
+        // `finish`.
+        let mut header = [0u8; HEADER_BYTES as usize];
+        header[0..4].copy_from_slice(&OCSR_MAGIC);
+        header[4..8].copy_from_slice(&OCSR_VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&n.to_le_bytes());
+        header[24..28].copy_from_slice(&bucket_entries.to_le_bytes());
+        if let Err(e) = file.write_all(&header) {
+            return io_err(path, "cannot write header of", e);
+        }
+        Ok(ChunkedCsrWriter {
+            path: path.to_path_buf(),
+            file,
+            bucket_entries,
+            bucket: Vec::with_capacity(bucket_entries as usize),
+            index: Vec::new(),
+            written: 0,
+            last: None,
+        })
+    }
+
+    fn push(&mut self, packed: u64) -> Result<(), String> {
+        debug_assert!(
+            self.last.is_none_or(|l| l < packed),
+            "chunked-CSR writer requires strictly increasing input"
+        );
+        self.last = Some(packed);
+        self.bucket.push(packed.to_le());
+        if self.bucket.len() == self.bucket_entries as usize {
+            self.flush_bucket()?;
+        }
+        Ok(())
+    }
+
+    fn flush_bucket(&mut self) -> Result<(), String> {
+        if self.bucket.is_empty() {
+            return Ok(());
+        }
+        let first_src = (u64::from_le(self.bucket[0]) >> 32) as u32;
+        self.index.push(BucketIndexEntry {
+            first_src,
+            entries: self.bucket.len() as u32,
+        });
+        self.written += self.bucket.len() as u64;
+        if let Err(e) = self.file.write_all(words_as_bytes(&self.bucket)) {
+            return io_err(&self.path, "cannot write bucket to", e);
+        }
+        self.bucket.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<ChunkedCsr, String> {
+        self.flush_bucket()?;
+        let mut raw = Vec::with_capacity(self.index.len() * 8);
+        for b in &self.index {
+            raw.extend_from_slice(&b.first_src.to_le_bytes());
+            raw.extend_from_slice(&b.entries.to_le_bytes());
+        }
+        if let Err(e) = self.file.write_all(&raw) {
+            return io_err(&self.path, "cannot write index to", e);
+        }
+        if let Err(e) = self.file.seek(SeekFrom::Start(16)) {
+            return io_err(&self.path, "cannot seek in", e);
+        }
+        let mut patch = [0u8; 8];
+        patch.copy_from_slice(&self.written.to_le_bytes());
+        if let Err(e) = self.file.write_all(&patch) {
+            return io_err(&self.path, "cannot patch header of", e);
+        }
+        if let Err(e) = self.file.seek(SeekFrom::Start(32)) {
+            return io_err(&self.path, "cannot seek in", e);
+        }
+        patch.copy_from_slice(&(self.index.len() as u64).to_le_bytes());
+        if let Err(e) = self.file.write_all(&patch) {
+            return io_err(&self.path, "cannot patch header of", e);
+        }
+        if let Err(e) = self.file.sync_all() {
+            return io_err(&self.path, "cannot sync", e);
+        }
+        ChunkedCsr::open(self.path)
+    }
+}
+
+/// A buffered sorted-run reader for the k-way merge in
+/// [`StreamingGraphBuilder::finish`].
+struct RunReader {
+    file: File,
+    buf: Vec<u64>,
+    pos: usize,
+    remaining_words: u64,
+    chunk: usize,
+}
+
+impl RunReader {
+    fn open(path: &Path, chunk: usize) -> Result<Self, String> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => return io_err(path, "cannot reopen run", e),
+        };
+        let remaining_words = match file.metadata() {
+            Ok(m) => m.len() / 8,
+            Err(e) => return io_err(path, "cannot stat run", e),
+        };
+        Ok(RunReader {
+            file,
+            buf: Vec::new(),
+            pos: 0,
+            remaining_words,
+            chunk,
+        })
+    }
+
+    fn next(&mut self) -> Result<Option<u64>, String> {
+        if self.pos == self.buf.len() {
+            let take = (self.remaining_words as usize).min(self.chunk);
+            if take == 0 {
+                return Ok(None);
+            }
+            self.buf.resize(take, 0);
+            if let Err(e) = self.file.read_exact(words_as_bytes_mut(&mut self.buf)) {
+                return Err(format!("short read in sorted run: {e}"));
+            }
+            self.remaining_words -= take as u64;
+            self.pos = 0;
+        }
+        let w = u64::from_le(self.buf[self.pos]);
+        self.pos += 1;
+        Ok(Some(w))
+    }
+}
+
+/// Accumulates undirected edges like [`GraphBuilder`](crate::GraphBuilder), but under an
+/// explicit byte budget: half-edges beyond the budget are sorted,
+/// deduplicated, and flushed to on-disk runs, and
+/// [`finish`](StreamingGraphBuilder::finish) merges the runs into a
+/// bucketed [`ChunkedCsr`] file. The resulting graph is identical to
+/// `GraphBuilder` fed the same edge sequence; only the peak RAM differs.
+pub struct StreamingGraphBuilder {
+    n: usize,
+    /// In-RAM packed half-edges, bounded by the byte budget.
+    buf: Vec<u64>,
+    cap: usize,
+    runs: Vec<PathBuf>,
+    scratch_dir: PathBuf,
+    tag: String,
+    half_edges_pushed: u64,
+    byte_budget: usize,
+}
+
+impl StreamingGraphBuilder {
+    /// New streaming builder for a graph on vertices `0..n` whose build
+    /// pipeline keeps at most roughly `byte_budget` bytes of half-edges
+    /// resident (floored at a small working minimum). Run files are
+    /// written to `scratch_dir` (the system temp directory if `None`).
+    pub fn new(n: usize, byte_budget: usize, scratch_dir: Option<&Path>) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+        let cap = (byte_budget / 8).max(MIN_BUFFER_ENTRIES);
+        let scratch_dir = scratch_dir
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        // Unique per builder instance: concurrent builders (e.g. parallel
+        // tests) must not collide on run-file names.
+        static NEXT_TAG: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let uniq = NEXT_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tag = format!("ocsr-run-{}-{uniq}", std::process::id());
+        StreamingGraphBuilder {
+            n,
+            buf: Vec::with_capacity(cap),
+            cap,
+            runs: Vec::new(),
+            scratch_dir,
+            tag,
+            half_edges_pushed: 0,
+            byte_budget,
+        }
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Half-edges pushed so far (before deduplication).
+    pub fn half_edges_pushed(&self) -> u64 {
+        self.half_edges_pushed
+    }
+
+    /// Adds the undirected edge `(u, v)`; duplicates collapse at
+    /// [`finish`](Self::finish) time, self-loops panic (matching
+    /// [`GraphBuilder::add_edge`](crate::GraphBuilder::add_edge)).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert_ne!(u, v, "self-loops are not representable");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        if self.buf.len() + 2 > self.cap {
+            self.flush_run().expect("flush sorted run");
+        }
+        self.buf.push(pack_half_edge(u, v));
+        self.buf.push(pack_half_edge(v, u));
+        self.half_edges_pushed += 2;
+    }
+
+    fn run_path(&self, i: usize) -> PathBuf {
+        self.scratch_dir.join(format!("{}-{i}.run", self.tag))
+    }
+
+    /// Sorts and deduplicates the in-RAM buffer and writes it out as one
+    /// sorted run.
+    fn flush_run(&mut self) -> Result<(), String> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        let path = self.run_path(self.runs.len());
+        let mut f = match File::create(&path) {
+            Ok(f) => f,
+            Err(e) => return io_err(&path, "cannot create run", e),
+        };
+        // Byte order: runs are same-machine temporaries, stored native;
+        // the final bucketed file is written little-endian by the writer.
+        let le: Vec<u64> = self.buf.iter().map(|w| w.to_le()).collect();
+        if let Err(e) = f.write_all(words_as_bytes(&le)) {
+            return io_err(&path, "cannot write run", e);
+        }
+        self.runs.push(path);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Merges all runs (and the in-RAM tail) into the bucketed file at
+    /// `out_path` with [`DEFAULT_BUCKET_ENTRIES`]-sized buckets, deletes
+    /// the runs, and opens the result.
+    pub fn finish(self, out_path: &Path) -> Result<ChunkedCsr, String> {
+        self.finish_with_buckets(out_path, DEFAULT_BUCKET_ENTRIES)
+    }
+
+    /// [`finish`](Self::finish) with an explicit bucket size (mainly for
+    /// tests that want many small buckets).
+    pub fn finish_with_buckets(
+        mut self,
+        out_path: &Path,
+        bucket_entries: u32,
+    ) -> Result<ChunkedCsr, String> {
+        let mut writer = ChunkedCsrWriter::create(out_path, self.n as u64, bucket_entries)?;
+        if self.runs.is_empty() {
+            // Single-run fast path: everything fit in the budget.
+            self.buf.sort_unstable();
+            self.buf.dedup();
+            for &w in &self.buf {
+                writer.push(w)?;
+            }
+            return writer.finish();
+        }
+        self.flush_run()?;
+        // K-way merge under the same budget: each run reader gets an
+        // equal slice of the byte budget as its read-ahead chunk.
+        let k = self.runs.len();
+        let chunk = ((self.byte_budget / 8) / k).max(MIN_BUFFER_ENTRIES / 4);
+        let mut readers = Vec::with_capacity(k);
+        for p in &self.runs {
+            readers.push(RunReader::open(p, chunk)?);
+        }
+        // Min-heap via Reverse; ties across runs are exact duplicates and
+        // collapse below.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::with_capacity(k);
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(w) = r.next()? {
+                heap.push(std::cmp::Reverse((w, i)));
+            }
+        }
+        let mut last: Option<u64> = None;
+        while let Some(std::cmp::Reverse((w, i))) = heap.pop() {
+            if last != Some(w) {
+                writer.push(w)?;
+                last = Some(w);
+            }
+            if let Some(next) = readers[i].next()? {
+                heap.push(std::cmp::Reverse((next, i)));
+            }
+        }
+        for p in &self.runs {
+            let _ = std::fs::remove_file(p);
+        }
+        self.runs.clear();
+        writer.finish()
+    }
+}
+
+impl Drop for StreamingGraphBuilder {
+    fn drop(&mut self) {
+        for p in &self.runs {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl EdgeSink for StreamingGraphBuilder {
+    #[inline]
+    fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        StreamingGraphBuilder::add_edge(self, u, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ocsr-test-{}-{name}", std::process::id()))
+    }
+
+    /// A deterministic pseudo-random edge sequence with duplicates.
+    fn edge_sequence(n: u32, count: u64) -> Vec<(u32, u32)> {
+        (0..count)
+            .filter_map(|i| {
+                let u = ((i.wrapping_mul(2654435761)) % n as u64) as u32;
+                let v = ((i.wrapping_mul(40503).wrapping_add(7)) % n as u64) as u32;
+                (u != v).then_some((u, v))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_preserves_order_and_roundtrips() {
+        let pairs = [(0u32, 1u32), (0, 2), (1, 0), (7, 3), (u32::MAX, 0)];
+        let mut packed: Vec<u64> = pairs.iter().map(|&(u, v)| pack_half_edge(u, v)).collect();
+        packed.sort_unstable();
+        let mut sorted = pairs.to_vec();
+        sorted.sort_unstable();
+        let unpacked: Vec<(u32, u32)> = packed.iter().map(|&w| unpack_half_edge(w)).collect();
+        assert_eq!(unpacked, sorted);
+    }
+
+    #[test]
+    fn streamed_build_equals_in_memory_build() {
+        let n = 300u32;
+        let edges = edge_sequence(n, 20_000);
+        let mut mem = GraphBuilder::new(n as usize);
+        // Tiny budget: forces many runs and a real k-way merge.
+        let mut ooc = StreamingGraphBuilder::new(n as usize, 4096, None);
+        for &(u, v) in &edges {
+            mem.add_edge(u, v);
+            ooc.add_edge(u, v);
+        }
+        let path = tmp("equal.ocsr");
+        let csr = ooc.finish_with_buckets(&path, 512).unwrap();
+        let g_mem = mem.build();
+        let g_ooc = csr.load_graph().unwrap();
+        assert_eq!(g_mem, g_ooc);
+        assert_eq!(csr.num_edges() as usize, g_mem.num_edges());
+        assert_eq!(csr.num_vertices(), n as usize);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn single_run_fast_path_equals_merged_path() {
+        let n = 120u32;
+        let edges = edge_sequence(n, 3_000);
+        let build = |budget: usize, name: &str| {
+            let mut b = StreamingGraphBuilder::new(n as usize, budget, None);
+            for &(u, v) in &edges {
+                b.add_edge(u, v);
+            }
+            let path = tmp(name);
+            let csr = b.finish_with_buckets(&path, 256).unwrap();
+            let g = csr.load_graph().unwrap();
+            let _ = std::fs::remove_file(path);
+            g
+        };
+        assert_eq!(build(1 << 26, "big.ocsr"), build(1, "small.ocsr"));
+    }
+
+    #[test]
+    fn bucket_index_covers_sorted_contiguous_shards() {
+        let n = 200u32;
+        let edges = edge_sequence(n, 10_000);
+        let mut b = StreamingGraphBuilder::new(n as usize, 1 << 16, None);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let path = tmp("index.ocsr");
+        let csr = b.finish_with_buckets(&path, 128).unwrap();
+        assert!(csr.num_buckets() > 1, "want a multi-bucket file");
+        // Every bucket except the last is full; first_src entries are
+        // non-decreasing; payload is globally sorted.
+        for (i, e) in csr.bucket_index().iter().enumerate() {
+            if i + 1 < csr.num_buckets() {
+                assert_eq!(e.entries, 128);
+                assert!(e.first_src <= csr.bucket_index()[i + 1].first_src);
+            }
+        }
+        let mut s = csr.stream().unwrap();
+        let mut prev: Option<(u32, u32)> = None;
+        let mut total = 0u64;
+        while let Some(bucket) = s.next_bucket().unwrap() {
+            for &e in bucket {
+                assert!(prev.is_none_or(|p| p < e), "payload must be sorted");
+                prev = Some(e);
+                total += 1;
+            }
+        }
+        assert_eq!(total, csr.num_half_edges());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_range_reads_exactly_its_buckets() {
+        let n = 100u32;
+        let edges = edge_sequence(n, 5_000);
+        let mut b = StreamingGraphBuilder::new(n as usize, 1 << 16, None);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let path = tmp("range.ocsr");
+        let csr = b.finish_with_buckets(&path, 64).unwrap();
+        let nb = csr.num_buckets();
+        let mid = nb / 2;
+        // Concatenating [0, mid) and [mid, nb) reproduces the full stream.
+        let collect = |lo: usize, hi: usize| {
+            let mut out = Vec::new();
+            let mut s = csr.stream_range(lo, hi).unwrap();
+            while let Some(bucket) = s.next_bucket().unwrap() {
+                out.extend_from_slice(bucket);
+            }
+            out
+        };
+        let mut both = collect(0, mid);
+        both.extend(collect(mid, nb));
+        assert_eq!(both, collect(0, nb));
+        assert_eq!(both.len() as u64, csr.num_half_edges());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn open_rejects_corrupt_headers() {
+        let path = tmp("corrupt.ocsr");
+        std::fs::write(&path, [b'x'; HEADER_BYTES as usize + 8]).unwrap();
+        let err = ChunkedCsr::open(&path).unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+        let _ = std::fs::remove_file(path);
+        assert!(ChunkedCsr::open(tmp("missing.ocsr")).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let b = StreamingGraphBuilder::new(5, 1 << 12, None);
+        let path = tmp("empty.ocsr");
+        let csr = b.finish(&path).unwrap();
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.num_buckets(), 0);
+        let g = csr.load_graph().unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn degrees_match_loaded_graph() {
+        let n = 80u32;
+        let edges = edge_sequence(n, 2_000);
+        let mut b = StreamingGraphBuilder::new(n as usize, 2048, None);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let path = tmp("deg.ocsr");
+        let csr = b.finish_with_buckets(&path, 100).unwrap();
+        let deg = csr.degrees().unwrap();
+        let g = csr.load_graph().unwrap();
+        for v in 0..n {
+            assert_eq!(deg[v as usize] as usize, g.degree(v));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -9,15 +9,28 @@ use std::fmt;
 pub enum StructureError {
     /// A neighbor id is out of the vertex range.
     NeighborOutOfRange {
+        /// Vertex whose adjacency list is defective.
         vertex: VertexId,
+        /// The out-of-range neighbor id it lists.
         neighbor: VertexId,
     },
     /// An adjacency list is not strictly sorted (implies duplicates too).
-    UnsortedAdjacency { vertex: VertexId },
+    UnsortedAdjacency {
+        /// Vertex whose adjacency list is defective.
+        vertex: VertexId,
+    },
     /// A self-loop is present.
-    SelfLoop { vertex: VertexId },
+    SelfLoop {
+        /// Vertex listing itself.
+        vertex: VertexId,
+    },
     /// `v` lists `u` but `u` does not list `v`.
-    Asymmetric { u: VertexId, v: VertexId },
+    Asymmetric {
+        /// Endpoint listing the edge.
+        u: VertexId,
+        /// Endpoint missing the reverse direction.
+        v: VertexId,
+    },
 }
 
 impl fmt::Display for StructureError {

@@ -92,20 +92,46 @@ pub enum WeightModel {
     /// Every weight equals the given constant (unweighted case when 1).
     Constant(f64),
     /// Uniform reals in `[lo, hi]`.
-    Uniform { lo: f64, hi: f64 },
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
     /// Uniform integers in `[lo, hi]`, stored as `f64`.
-    UniformInt { lo: u64, hi: u64 },
+    UniformInt {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
     /// Exponential with the given mean (heavy-ish tail).
-    Exponential { mean: f64 },
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
     /// Zipf/zeta-like: weight of rank `r` (a random permutation of `1..=n`)
     /// is `scale / r^exponent`. Heavy tail controlled by `exponent`.
-    Zipf { exponent: f64, scale: f64 },
+    Zipf {
+        /// Tail exponent.
+        exponent: f64,
+        /// Weight of rank 1.
+        scale: f64,
+    },
     /// `w(v) = base + slope * deg(v)` — expensive hubs. Probes the regime
     /// where the paper's `w(v)/d(v)` initialization flattens out.
-    DegreeProportional { base: f64, slope: f64 },
+    DegreeProportional {
+        /// Degree-independent offset.
+        base: f64,
+        /// Cost per incident edge.
+        slope: f64,
+    },
     /// `w(v) = scale / (1 + deg(v))` — cheap hubs. The adversarial regime
     /// where greedy heuristics love hubs but good covers may avoid them.
-    DegreeInverse { scale: f64 },
+    DegreeInverse {
+        /// Numerator of the inverse-degree weight.
+        scale: f64,
+    },
 }
 
 impl WeightModel {

@@ -42,6 +42,11 @@ pub struct RoundStats {
     pub max_resident: usize,
     /// Total words moved across the network this round.
     pub total_traffic: usize,
+    /// Words written to per-machine spill files this round (summed over
+    /// machines). Nonzero only when an executor runs under
+    /// [`MemoryBudget::Enforced`](crate::MemoryBudget) and actually
+    /// overflows its budget.
+    pub spill_words: u64,
 }
 
 /// Deterministic critical-path statistic of an execution, in simulated
@@ -96,6 +101,9 @@ pub struct TraceSummary {
     /// Number of recorded model-constraint breaches (audit mode; zero
     /// under strict enforcement, which panics instead).
     pub violations: usize,
+    /// Total words written to per-machine spill files over the whole
+    /// execution (see [`RoundStats::spill_words`]).
+    pub spill_words: u64,
 }
 
 impl ExecutionTrace {
@@ -113,6 +121,7 @@ impl ExecutionTrace {
             peak_round_words: self.peak_traffic(),
             peak_resident_words: self.peak_resident(),
             violations: self.violations.len(),
+            spill_words: self.total_spill(),
         }
     }
 
@@ -137,6 +146,11 @@ impl ExecutionTrace {
     /// Total words moved across the whole execution.
     pub fn total_traffic(&self) -> usize {
         self.rounds.iter().map(|r| r.total_traffic).sum()
+    }
+
+    /// Total words spilled to disk across the whole execution.
+    pub fn total_spill(&self) -> u64 {
+        self.rounds.iter().map(|r| r.spill_words).sum()
     }
 
     /// Whether the execution stayed within the model constraints.
@@ -173,6 +187,7 @@ mod tests {
             max_received: recv,
             max_resident: res,
             total_traffic: total,
+            spill_words: 0,
         }
     }
 
@@ -196,6 +211,7 @@ mod tests {
                 peak_round_words: 30,
                 peak_resident_words: 100,
                 violations: 0,
+                spill_words: 0,
             }
         );
     }
@@ -215,6 +231,21 @@ mod tests {
         };
         assert_eq!(t.summary().violations, 1);
         assert_eq!(t.summary().rounds, 1);
+    }
+
+    #[test]
+    fn spill_words_sum_into_the_summary() {
+        let mut r0 = stats("a", 1, 1, 1, 1);
+        r0.spill_words = 100;
+        let mut r1 = stats("b", 1, 1, 1, 1);
+        r1.spill_words = 42;
+        let t = ExecutionTrace {
+            rounds: vec![r0, r1],
+            violations: vec![],
+            critical_path: CriticalPath::default(),
+        };
+        assert_eq!(t.total_spill(), 142);
+        assert_eq!(t.summary().spill_words, 142);
     }
 
     #[test]

@@ -20,40 +20,54 @@
 //! (`tests/fabric_properties.rs` pins this with a counting allocator).
 
 use crate::accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
-use crate::model::{Enforcement, MpcConfig};
+use crate::model::{Enforcement, MemoryBudget, MpcConfig};
 use crate::pipeline::{CpTracker, ReadinessBoard};
 use crate::router::{route, FlatInboxes, Outbox, RouteScratch};
+use crate::spill::SpillFile;
 use crate::words::Words;
 use rayon::prelude::*;
 use std::marker::PhantomData;
 use std::time::Instant;
 
 /// A machine's handle for emitting messages during a round. Owns the
-/// machine's reusable outbox arena; the router drains it (retaining
-/// capacity) at the end of every round.
+/// machine's reusable outbox arena and its spill file for the duration of
+/// the round; the cluster reclaims both (retaining capacity and stored
+/// spill words) at the end of every round.
 pub struct MachineCtx<M> {
     /// This machine's index in `0..num_machines`.
     pub id: usize,
     num_machines: usize,
     outbox: Outbox<M>,
+    spill: SpillFile,
 }
 
 impl<M> MachineCtx<M> {
-    pub(crate) fn new(id: usize, num_machines: usize, outbox: Outbox<M>) -> Self {
+    pub(crate) fn new(id: usize, num_machines: usize, outbox: Outbox<M>, spill: SpillFile) -> Self {
         Self {
             id,
             num_machines,
             outbox,
+            spill,
         }
     }
 
-    pub(crate) fn into_outbox(self) -> Outbox<M> {
-        self.outbox
+    pub(crate) fn into_parts(self) -> (Outbox<M>, SpillFile) {
+        (self.outbox, self.spill)
     }
 
     /// Number of machines in the cluster.
     pub fn num_machines(&self) -> usize {
         self.num_machines
+    }
+
+    /// This machine's persistent [`SpillFile`]: an append-only word log
+    /// that survives across rounds, for working sets that must leave RAM
+    /// to respect the resident cap under
+    /// [`MemoryBudget::Enforced`](crate::MemoryBudget). Words written
+    /// here are charged to [`RoundStats::spill_words`] for the round.
+    #[inline]
+    pub fn spill(&mut self) -> &mut SpillFile {
+        &mut self.spill
     }
 
     /// Queues `msg` for delivery to machine `to` at the end of the round.
@@ -215,6 +229,8 @@ pub struct Cluster<S, M> {
     pub(crate) scratch: RouteScratch,
     /// Per-machine post-computation state footprint, recycled each round.
     pub(crate) state_words: Vec<usize>,
+    /// Per-machine spill files, lent to the contexts each round.
+    pub(crate) spills: Vec<SpillFile>,
     pub(crate) trace: ExecutionTrace,
     /// Per-region delivery counters of the pipelined scheduler, recycled
     /// each round.
@@ -245,6 +261,7 @@ where
             inboxes: FlatInboxes::new(m),
             scratch: RouteScratch::new(),
             state_words: vec![0; m],
+            spills: (0..m).map(|_| SpillFile::new()).collect(),
             trace: ExecutionTrace::default(),
             board: ReadinessBoard::new(m),
             cp: CpTracker::new(m),
@@ -330,18 +347,22 @@ where
             .par_iter_mut()
             .zip(self.outboxes.par_iter_mut())
             .zip(self.state_words.par_iter_mut())
+            .zip(self.spills.par_iter_mut())
             .enumerate()
-            .for_each(|(id, ((state, outbox), words))| {
+            .for_each(|(id, (((state, outbox), words), spill))| {
                 // SAFETY: machine regions are disjoint by the layout
                 // tables; the drained buffer outlives this scope and
                 // each message is owned by exactly one view.
                 let inbox = unsafe { Inbox::from_raw(base.at(starts[id]), lens[id]) };
-                // The context temporarily owns this machine's arena;
-                // both moves are pointer swaps, not allocations.
-                let mut ctx = MachineCtx::new(id, m, std::mem::take(outbox));
+                // The context temporarily owns this machine's arena and
+                // spill file; all moves are pointer swaps, not
+                // allocations.
+                let mut ctx = MachineCtx::new(id, m, std::mem::take(outbox), std::mem::take(spill));
                 f(&mut ctx, state, inbox);
                 *words = state.words();
-                *outbox = ctx.into_outbox();
+                let (ob, sp) = ctx.into_parts();
+                *outbox = ob;
+                *spill = sp;
             });
     }
 
@@ -367,6 +388,17 @@ where
         for (machine, resident) in residents.enumerate() {
             max_resident = max_resident.max(resident);
             if resident > cap {
+                // Under an enforced budget the cap is not negotiable:
+                // a machine holding more than `S` words should have moved
+                // the excess to its spill file, and no enforcement policy
+                // downgrades that to a recorded violation.
+                if self.config.budget == MemoryBudget::Enforced {
+                    panic!(
+                        "MPC budget violation: machine {machine} holds {resident} words > cap \
+                         {cap} after round {round_index} ({label}); under \
+                         MemoryBudget::Enforced the machine must spill the excess instead"
+                    );
+                }
                 let v = Violation {
                     round: round_index,
                     machine,
@@ -384,6 +416,7 @@ where
             }
         }
 
+        let spill_words: u64 = self.spills.iter_mut().map(|s| s.take_round_words()).sum();
         let total_traffic = self.scratch.sent_words.iter().sum();
         self.trace.rounds.push(RoundStats {
             label: label.to_string(),
@@ -397,6 +430,7 @@ where
                 .unwrap_or(0),
             max_resident,
             total_traffic,
+            spill_words,
         });
         self.trace.violations.append(&mut violations);
         // Give the (now empty) violation buffer back for reuse.
@@ -518,6 +552,51 @@ mod tests {
         c.round("overflow", |_ctx, state, _| {
             state.0 = vec![0; 6];
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "MPC budget violation")]
+    fn enforced_budget_panics_even_in_audit_mode() {
+        let cfg = MpcConfig::new(1, 5)
+            .audited()
+            .with_budget(MemoryBudget::Enforced);
+        let mut c: Cluster<Bag, u64> = Cluster::new(cfg, |_| Bag::default());
+        c.round("overflow", |_ctx, state, _| {
+            state.0 = vec![0; 6];
+        });
+    }
+
+    #[test]
+    fn spilled_words_are_charged_to_the_round() {
+        let mut c = cluster(2, 100);
+        c.round("spill", |ctx, _state, _| {
+            if ctx.id == 1 {
+                ctx.spill().write_words(&[1, 2, 3]);
+            }
+        });
+        c.round("quiet", |_ctx, _state, _| {});
+        assert_eq!(c.trace().rounds[0].spill_words, 3);
+        assert_eq!(c.trace().rounds[1].spill_words, 0);
+        assert_eq!(c.trace().total_spill(), 3);
+    }
+
+    #[test]
+    fn spill_files_persist_across_rounds() {
+        let mut c = cluster(2, 100);
+        c.round("write", |ctx, _state, _| {
+            if ctx.id == 0 {
+                ctx.spill().write_words(&[10, 20]);
+            }
+        });
+        c.round("read back", |ctx, state, _| {
+            if ctx.id == 0 {
+                let mut buf = [0u64; 4];
+                ctx.spill().rewind();
+                assert_eq!(ctx.spill().read_words(&mut buf), 2);
+                state.0.extend_from_slice(&buf[..2]);
+            }
+        });
+        assert_eq!(c.state(0).0, vec![10, 20]);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod tests {
                     max_received: l / 2,
                     max_resident: l,
                     total_traffic: l,
+                    spill_words: 0,
                 })
                 .collect(),
             violations: vec![],
@@ -94,6 +95,7 @@ mod tests {
                 max_received: 500,
                 max_resident: 0,
                 total_traffic: 500,
+                spill_words: 0,
             }],
             violations: vec![],
             critical_path: Default::default(),

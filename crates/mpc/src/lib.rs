@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod primitives;
 pub mod rng;
 pub mod router;
+pub mod spill;
 pub(crate) mod sync;
 pub mod words;
 
@@ -50,9 +51,10 @@ pub use accounting::{
     CriticalPath, ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind,
 };
 pub use cluster::{Cluster, Inbox, MachineCtx};
-pub use model::{Enforcement, MemoryRegime, MpcConfig, RoundScheduler};
+pub use model::{Enforcement, MemoryBudget, MemoryRegime, MpcConfig, RoundScheduler};
 pub use pipeline::{ReadinessBoard, SegmentRound};
 pub use router::{FlatInboxes, Outbox, RouteScratch};
+pub use spill::SpillFile;
 pub use words::Words;
 
 /// Hash-partition owner of a key: the machine responsible for aggregating

@@ -75,7 +75,58 @@ pub enum RoundScheduler {
     Pipelined,
 }
 
+/// How literally the per-machine memory cap `S` is taken.
+///
+/// Historically the simulator *accounted* resident memory (and, under
+/// [`Enforcement::Strict`], panicked on overruns) but executors were free
+/// to hold whole adjacency shards in RAM and treat the cap as a
+/// statistic. `Enforced` closes that loophole for the out-of-core path:
+/// a machine that would exceed `S` **must** move words to its per-machine
+/// spill file ([`crate::SpillFile`], reported as
+/// [`RoundStats::spill_words`](crate::RoundStats)) — exceeding `S`
+/// without spilling is a hard error regardless of the
+/// [`Enforcement`] policy, never a recorded-and-ignored violation.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sim::{MemoryBudget, MpcConfig};
+///
+/// // Legacy behavior: cap violations follow the enforcement policy.
+/// let cfg = MpcConfig::new(4, 1 << 20);
+/// assert_eq!(cfg.budget, MemoryBudget::AccountOnly);
+///
+/// // Out-of-core behavior: resident > S always aborts the run.
+/// let cfg = cfg.with_budget(MemoryBudget::Enforced);
+/// assert_eq!(cfg.budget, MemoryBudget::Enforced);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MemoryBudget {
+    /// Resident memory is accounted; overruns follow the
+    /// [`Enforcement`] policy (panic under `Strict`, recorded under
+    /// `Audit`). The historical default.
+    #[default]
+    AccountOnly,
+    /// Resident memory above `S` is a hard error even under
+    /// [`Enforcement::Audit`]: machines are expected to spill instead of
+    /// holding more than `S` words.
+    Enforced,
+}
+
 /// Static configuration of an MPC cluster.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sim::{MemoryRegime, MpcConfig};
+///
+/// // 1e6 input words in the near-linear regime S = 4n at n = 10_000:
+/// // the model's natural machine count is M = ceil(input / S).
+/// let cfg = MpcConfig::for_input(10_000, 1_000_000, MemoryRegime::NearLinear { factor: 4.0 });
+/// assert_eq!(cfg.memory_words, 40_000);
+/// assert_eq!(cfg.num_machines, 25);
+/// assert!(cfg.total_memory_words() >= 1_000_000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MpcConfig {
     /// Number of machines `M`.
@@ -87,6 +138,9 @@ pub struct MpcConfig {
     pub enforcement: Enforcement,
     /// Host round-execution engine (no effect on model costs).
     pub scheduler: RoundScheduler,
+    /// Whether the resident cap is merely accounted or hard-enforced
+    /// (spill-or-die).
+    pub budget: MemoryBudget,
 }
 
 impl MpcConfig {
@@ -99,6 +153,7 @@ impl MpcConfig {
             memory_words,
             enforcement: Enforcement::Strict,
             scheduler: RoundScheduler::Barrier,
+            budget: MemoryBudget::AccountOnly,
         }
     }
 
@@ -127,6 +182,12 @@ impl MpcConfig {
     /// Selects the round scheduler explicitly.
     pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the memory-budget policy (see [`MemoryBudget`]).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -193,5 +254,15 @@ mod tests {
     #[test]
     fn scheduler_default_is_barrier() {
         assert_eq!(RoundScheduler::default(), RoundScheduler::Barrier);
+    }
+
+    #[test]
+    fn budget_defaults_to_account_only_and_flips() {
+        let cfg = MpcConfig::new(2, 10);
+        assert_eq!(cfg.budget, MemoryBudget::AccountOnly);
+        assert_eq!(
+            cfg.with_budget(MemoryBudget::Enforced).budget,
+            MemoryBudget::Enforced
+        );
     }
 }

@@ -374,6 +374,7 @@ where
         let states = SendPtr(self.states.as_mut_ptr());
         let outboxes = SendPtr(self.outboxes.as_mut_ptr());
         let state_words = SendPtr(self.state_words.as_mut_ptr());
+        let spills = SendPtr(self.spills.as_mut_ptr());
         let board = &self.board;
         let region_starts = self.inboxes.region_starts();
         let region_lens = self.inboxes.region_lens();
@@ -394,14 +395,22 @@ where
             // until the compute returns, this closure is the slot's only
             // accessor.
             let outbox = unsafe { &mut *outboxes.at(machine) };
-            let mut ctx = MachineCtx::new(machine, m, std::mem::take(outbox));
+            // SAFETY: spill slots are per-machine and only touched by
+            // that machine's exactly-once compute; the accounting drain
+            // runs on the caller's thread strictly after this parallel
+            // stage returns.
+            let spill = unsafe { &mut *spills.at(machine) };
+            let mut ctx =
+                MachineCtx::new(machine, m, std::mem::take(outbox), std::mem::take(spill));
             // SAFETY: state and state-word slots are per-machine and this
             // is machine `machine`'s exactly-once compute.
             let state = unsafe { &mut *states.at(machine) };
             body(&mut ctx, state, inbox);
             // SAFETY: as above — exclusive per-machine slot.
             unsafe { *state_words.at(machine) = state.words() };
-            *outbox = ctx.into_outbox();
+            let (ob, sp) = ctx.into_parts();
+            *outbox = ob;
+            *spill = sp;
         };
 
         (0..m).into_par_iter().for_each(|from| {

@@ -1,0 +1,207 @@
+//! Per-machine spill files: the escape hatch that makes the resident cap
+//! `S` a real constraint instead of an accounting fiction.
+//!
+//! Under [`MemoryBudget::Enforced`](crate::MemoryBudget), a machine whose
+//! working set would exceed `S` words must move the excess here — a
+//! word-oriented temporary file owned by the cluster and lent to the
+//! machine each round alongside its outbox. The accounting layer drains
+//! the per-round spilled word count into
+//! [`RoundStats::spill_words`](crate::RoundStats), so spill traffic is a
+//! first-class, gated model cost rather than an invisible host detail.
+//!
+//! A `SpillFile` is deliberately dumb: an append-only word log with
+//! rewind-and-replay reads. Executors layer their own framing on top
+//! (the out-of-core executor spills its adjacency shard, a plain slice
+//! of packed half-edge words).
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Reinterprets a word slice as bytes for bulk file I/O.
+fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding, every byte pattern is valid, and the
+    // length is scaled by the element size; the byte slice borrows the
+    // word slice.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// Reinterprets a mutable word slice as bytes for bulk file I/O.
+fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as in `words_as_bytes`; any bytes read into the buffer form
+    // valid u64 values. Spill files are same-process temporaries, so
+    // native byte order roundtrips exactly.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+/// An append-only, rewindable word log backed by a lazily created
+/// temporary file (deleted on drop). All sizes are in 64-bit words, the
+/// simulator's unit of account.
+#[derive(Debug, Default)]
+pub struct SpillFile {
+    /// Lazily created on first write: machines that never exceed their
+    /// budget never touch the filesystem.
+    file: Option<File>,
+    path: Option<PathBuf>,
+    /// Total words ever spilled (monotone; survives `clear`).
+    spilled_words: u64,
+    /// Words spilled since the last `take_round_words` drain.
+    round_words: u64,
+    /// Words currently stored (reset by `clear`).
+    stored_words: u64,
+    /// Read position in words, advanced by `read_words`.
+    read_cursor: u64,
+}
+
+impl SpillFile {
+    /// A new, empty spill file; no filesystem activity until the first
+    /// [`write_words`](Self::write_words).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends words to the log, creating the backing file on first use.
+    pub fn write_words(&mut self, words: &[u64]) {
+        if words.is_empty() {
+            return;
+        }
+        if self.file.is_none() {
+            static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let uniq = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("mpc-spill-{}-{uniq}.words", std::process::id()));
+            let file = File::options()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .expect("create spill file");
+            self.file = Some(file);
+            self.path = Some(path);
+        }
+        let f = self.file.as_mut().expect("spill file just created");
+        f.seek(SeekFrom::Start(self.stored_words * 8))
+            .expect("seek spill file");
+        f.write_all(words_as_bytes(words))
+            .expect("write spill file");
+        self.stored_words += words.len() as u64;
+        self.spilled_words += words.len() as u64;
+        self.round_words += words.len() as u64;
+    }
+
+    /// Rewinds the read cursor to the start of the stored words.
+    pub fn rewind(&mut self) {
+        self.read_cursor = 0;
+    }
+
+    /// Reads up to `buf.len()` words from the current read position,
+    /// returning how many were filled (0 at end of log).
+    pub fn read_words(&mut self, buf: &mut [u64]) -> usize {
+        let Some(f) = self.file.as_mut() else {
+            return 0;
+        };
+        let left = self.stored_words.saturating_sub(self.read_cursor) as usize;
+        let take = left.min(buf.len());
+        if take == 0 {
+            return 0;
+        }
+        // Seek explicitly: the OS cursor may sit at the append position
+        // after an interleaved write.
+        f.seek(SeekFrom::Start(self.read_cursor * 8))
+            .expect("seek spill file");
+        f.read_exact(words_as_bytes_mut(&mut buf[..take]))
+            .expect("read spill file");
+        self.read_cursor += take as u64;
+        take
+    }
+
+    /// Forgets the stored words (the backing file is kept for reuse).
+    /// Cumulative spill accounting is unaffected.
+    pub fn clear(&mut self) {
+        self.stored_words = 0;
+        self.read_cursor = 0;
+    }
+
+    /// Words currently stored in the log.
+    pub fn stored_words(&self) -> u64 {
+        self.stored_words
+    }
+
+    /// Total words spilled over the file's lifetime.
+    pub fn spilled_words(&self) -> u64 {
+        self.spilled_words
+    }
+
+    /// Drains the words-spilled-since-last-call counter — the accounting
+    /// layer calls this once per round to populate
+    /// [`RoundStats::spill_words`](crate::RoundStats).
+    pub fn take_round_words(&mut self) -> u64 {
+        std::mem::take(&mut self.round_words)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_accounting() {
+        let mut s = SpillFile::new();
+        assert_eq!(s.read_words(&mut [0; 4]), 0);
+        s.write_words(&[1, 2, 3]);
+        s.write_words(&[4, 5]);
+        assert_eq!(s.stored_words(), 5);
+        assert_eq!(s.spilled_words(), 5);
+        assert_eq!(s.take_round_words(), 5);
+        assert_eq!(s.take_round_words(), 0);
+        s.rewind();
+        let mut buf = [0u64; 3];
+        assert_eq!(s.read_words(&mut buf), 3);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(s.read_words(&mut buf), 2);
+        assert_eq!(&buf[..2], &[4, 5]);
+        assert_eq!(s.read_words(&mut buf), 0);
+    }
+
+    #[test]
+    fn clear_keeps_cumulative_totals() {
+        let mut s = SpillFile::new();
+        s.write_words(&[7; 10]);
+        s.clear();
+        assert_eq!(s.stored_words(), 0);
+        assert_eq!(s.spilled_words(), 10);
+        s.write_words(&[8, 9]);
+        s.rewind();
+        let mut buf = [0u64; 8];
+        assert_eq!(s.read_words(&mut buf), 2);
+        assert_eq!(&buf[..2], &[8, 9]);
+        assert_eq!(s.spilled_words(), 12);
+    }
+
+    #[test]
+    fn empty_write_creates_no_file() {
+        let mut s = SpillFile::new();
+        s.write_words(&[]);
+        assert!(s.path.is_none());
+        assert_eq!(s.spilled_words(), 0);
+    }
+
+    #[test]
+    fn backing_file_removed_on_drop() {
+        let path = {
+            let mut s = SpillFile::new();
+            s.write_words(&[1]);
+            s.path.clone().unwrap()
+        };
+        assert!(!path.exists(), "spill file {path:?} leaked");
+    }
+}

@@ -9,13 +9,14 @@
 //! sensitivity anywhere in the tree fails these tests.
 
 use mwvc_repro::core::mpc::{
-    recommended_cluster, run_distributed, run_reference, DistributedOutcome, MpcMwvcConfig,
+    recommended_cluster, run_distributed, run_outofcore, run_reference, DistributedOutcome,
+    MpcMwvcConfig, OocConfig,
 };
 use mwvc_repro::graph::generators::RmatParams;
 use mwvc_repro::graph::generators::{chung_lu, gnm, gnp, random_bipartite, random_regular, rmat};
-use mwvc_repro::graph::{WeightModel, WeightedGraph};
+use mwvc_repro::graph::{StreamingGraphBuilder, WeightModel, WeightedGraph};
 use mwvc_repro::roundcompress;
-use mwvc_repro::sim::RoundScheduler;
+use mwvc_repro::sim::{MemoryBudget, MpcConfig, RoundScheduler};
 use rayon::ThreadPool;
 
 const EPS: f64 = 0.1;
@@ -229,6 +230,85 @@ fn roundcompress_pipelined_is_bit_identical_to_barrier_across_thread_counts() {
         }
         assert_eq!(baseline.trace, run.trace, "traces diverged at {t} threads");
     }
+}
+
+/// The enforced memory budget is invisible to everything the model
+/// gates: an out-of-core run whose shards are forced into spill files
+/// produces the same cover, the same dual loads **bit for bit**, and the
+/// same per-round message statistics as a fully resident run — at every
+/// pool width. Only the residency/spill statistics may differ.
+#[test]
+fn outofcore_spill_is_bit_identical_to_resident_across_thread_counts() {
+    let n = 1_500;
+    let g = gnm(n, 12_000, SEED);
+    let path = std::env::temp_dir().join(format!("det-ooc-{}.ocsr", std::process::id()));
+    let mut b = StreamingGraphBuilder::new(n, 1 << 16, None);
+    for e in g.edges() {
+        b.add_edge(e.u(), e.v());
+    }
+    let csr = b.finish(&path).expect("build streaming csr");
+    let weights = WeightModel::Uniform { lo: 1.0, hi: 9.0 }
+        .sample(&g, SEED ^ 3)
+        .as_slice()
+        .to_vec();
+    let cfg = OocConfig {
+        batch_words: 256,
+        ..OocConfig::default()
+    };
+    // S = 16_000 holds the per-vertex state and the coordinator's inbox,
+    // but not the ~8_000-word shards: every machine must spill. Enforced
+    // turns any unspilled excess into a panic, so passing proves the
+    // budget was honored, not merely recorded.
+    let small = MpcConfig::new(3, 16_000).with_budget(MemoryBudget::Enforced);
+    let big = MpcConfig::new(3, 1 << 20);
+
+    let baseline_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("build baseline pool");
+    let resident =
+        baseline_pool.install(|| run_outofcore(&csr, &weights, &cfg, big).expect("resident run"));
+    assert_eq!(resident.trace.total_spill(), 0, "big budget must not spill");
+
+    for (t, pool) in pools() {
+        let spilled =
+            pool.install(|| run_outofcore(&csr, &weights, &cfg, small).expect("spilled run"));
+        assert!(
+            spilled.trace.total_spill() > 0,
+            "small budget must spill at {t} threads"
+        );
+        assert!(spilled.trace.summary().peak_resident_words <= 16_000);
+        assert_eq!(
+            resident.cover, spilled.cover,
+            "covers diverged under spill at {t} threads"
+        );
+        for (i, (x, y)) in resident.loads.iter().zip(&spilled.loads).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "dual load {i} diverged under spill at {t} threads"
+            );
+        }
+        assert_eq!(resident.iterations, spilled.iterations);
+        assert_eq!(resident.trace.rounds.len(), spilled.trace.rounds.len());
+        for (a, b) in resident.trace.rounds.iter().zip(&spilled.trace.rounds) {
+            // Everything message-side is budget-independent; only
+            // max_resident and spill_words may (and do) differ.
+            assert_eq!(a.label, b.label, "round labels diverged at {t} threads");
+            assert_eq!(a.max_sent, b.max_sent, "{}: sent diverged at {t}", a.label);
+            assert_eq!(
+                a.max_received, b.max_received,
+                "{}: received diverged at {t}",
+                a.label
+            );
+            assert_eq!(
+                a.total_traffic, b.total_traffic,
+                "{}: traffic diverged at {t}",
+                a.label
+            );
+        }
+    }
+    std::fs::remove_file(path).ok();
 }
 
 #[test]

@@ -4,10 +4,22 @@
 
 use mwvc_repro::baselines::{bar_yehuda_even, exact_mwvc, lp_optimum};
 use mwvc_repro::core::init::is_valid_fractional_matching;
-use mwvc_repro::core::mpc::{run_reference, MpcMwvcConfig};
+use mwvc_repro::core::mpc::{run_outofcore, run_reference, MpcMwvcConfig, OocConfig};
 use mwvc_repro::core::solve_centralized;
-use mwvc_repro::graph::{EdgeIndex, Graph, VertexWeights, WeightedGraph};
+use mwvc_repro::graph::{
+    EdgeIndex, Graph, StreamingGraphBuilder, VertexWeights, WeightModel, WeightedGraph,
+};
+use mwvc_repro::sim::MpcConfig;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch path per proptest case so shrink replays never race on
+/// a shared file.
+fn scratch_ocsr() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("prop-ooc-{}-{id}.ocsr", std::process::id()))
+}
 
 /// Random simple graph as (n, canonical edge set).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
@@ -104,6 +116,61 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&c| c == 2));
+    }
+
+    /// The per-machine memory budget is invisible to every gated field:
+    /// a random budget changes only residency/spill statistics, never
+    /// the cover, the dual loads (bit for bit), the iteration count, or
+    /// the per-round message traffic. Budgets too small to hold the
+    /// mandatory per-vertex state are a clean `Err`, not a divergence.
+    #[test]
+    fn outofcore_budget_never_changes_gated_fields(
+        g in arb_graph(36, 120),
+        machines in 1usize..4,
+        budget in 2_000usize..40_000,
+        batch_shift in 3u32..8,
+        seed in 0u64..1000,
+    ) {
+        let n = g.num_vertices();
+        let path = scratch_ocsr();
+        let mut b = StreamingGraphBuilder::new(n, 1 << 12, None);
+        for e in g.edge_vec() {
+            b.add_edge(e.u(), e.v());
+        }
+        let csr = b.finish(&path).expect("build streaming csr");
+        let weights = WeightModel::Uniform { lo: 1.0, hi: 9.0 }
+            .sample(&g, seed)
+            .as_slice()
+            .to_vec();
+        let cfg = OocConfig {
+            batch_words: 1usize << batch_shift,
+            ..OocConfig::default()
+        };
+        let baseline = run_outofcore(&csr, &weights, &cfg, MpcConfig::new(machines, 1 << 22))
+            .expect("roomy budget must run");
+        let capped = run_outofcore(&csr, &weights, &cfg, MpcConfig::new(machines, budget));
+        std::fs::remove_file(path).ok();
+        let capped = match capped {
+            Ok(out) => out,
+            // Below the floor the executor refuses to start; that is the
+            // documented contract, not a property violation.
+            Err(e) => {
+                prop_assert!(e.contains("budget"), "unexpected error: {}", e);
+                return Ok(());
+            }
+        };
+        prop_assert_eq!(&baseline.cover, &capped.cover);
+        prop_assert_eq!(baseline.iterations, capped.iterations);
+        for (x, y) in baseline.loads.iter().zip(&capped.loads) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(baseline.trace.rounds.len(), capped.trace.rounds.len());
+        for (a, b) in baseline.trace.rounds.iter().zip(&capped.trace.rounds) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(a.max_sent, b.max_sent);
+            prop_assert_eq!(a.max_received, b.max_received);
+            prop_assert_eq!(a.total_traffic, b.total_traffic);
+        }
     }
 
     /// Certificates never overstate the lower bound: scaling the dual to

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link in the repo's tracked .md
+# files must point at an existing file or directory. External URLs and
+# pure anchors are skipped (this is an offline repo — nothing should
+# depend on the network, and in-page anchors are rustdoc/GitHub's
+# problem). Run from anywhere; CI runs it in the lint job.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+fail=0
+while IFS= read -r file; do
+    dir="$(dirname "$file")"
+    # Pull out the (target) of every [text](target) on the page.
+    while IFS= read -r link; do
+        [ -n "$link" ] || continue
+        case "$link" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        target="${link%%#*}"
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "broken link in $file: ($link)" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))$/\1/')
+done < <(git ls-files '*.md' ':!vendor/**')
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed" >&2
+fi
+exit "$fail"
