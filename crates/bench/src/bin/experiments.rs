@@ -13,6 +13,8 @@
 //! experiments bench --repeat 5      # min-of-5 wall-clock (stable timing)
 //! experiments bench --quick --graph g.col       # add file workloads
 //! experiments bench --tier huge     # out-of-core 1e8-edge tier (nightly)
+//! experiments trace                 # Perfetto timeline -> TRACE.json (+ events JSONL)
+//! experiments trace --scheduler barrier --out B.json
 //! experiments --list                # enumerate experiments and workloads
 //! ```
 //!
@@ -173,7 +175,78 @@ fn main() {
         run_bench(&opt);
         return;
     }
+    if opt.ids.iter().any(|id| id == "trace") {
+        run_trace(&opt);
+        return;
+    }
     run_tables(&opt);
+}
+
+/// `experiments trace`: run one skewed quick workload and export its
+/// observability record — a Chrome Trace Event Format timeline (load the
+/// file in Perfetto / `chrome://tracing`) plus the model-domain event
+/// stream as JSONL next to it.
+fn run_trace(opt: &Options) {
+    if opt.ids.len() != 1 {
+        usage("'trace' cannot be combined with other experiments");
+    }
+    if opt.quick || opt.full || opt.tier.is_some() || opt.graph.is_some() || opt.repeat.is_some() {
+        usage("--quick/--full/--tier/--graph/--repeat do not apply to 'trace'");
+    }
+    let scheduler = opt.scheduler.unwrap_or(RoundScheduler::Pipelined);
+    let executor = opt.executor.unwrap_or(ExecutorKind::Distributed);
+    // The R-MAT/Zipf cell of the quick matrix: the most degree- and
+    // weight-skewed workload, so per-machine loads differ and the
+    // pipelined timeline actually shows cross-machine overlap.
+    let wanted = format!("rmat-zipf-eps4-n1024-{}", executor.label());
+    let mut workload = harness::workload_matrix(BenchSuite::Quick)
+        .into_iter()
+        .find(|w| w.id == wanted)
+        .unwrap_or_else(|| {
+            usage(&format!(
+                "trace workload {wanted:?} missing from the matrix"
+            ))
+        });
+    workload.scheduler = scheduler;
+    let out_path = opt.out.clone().unwrap_or_else(|| "TRACE.json".into());
+    let events_path = format!(
+        "{}.events.jsonl",
+        out_path.strip_suffix(".json").unwrap_or(&out_path)
+    );
+    let start = Instant::now();
+    eprintln!("[trace] running {} under {scheduler:?}...", workload.id);
+    let outcome = harness::run_for_trace(&workload);
+    let trace = &outcome.trace;
+    let doc = mwvc_bench::tracefmt::chrome_trace(trace);
+    std::fs::write(&out_path, doc.render()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    std::fs::write(
+        &events_path,
+        mwvc_bench::tracefmt::events_jsonl(&trace.events),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot write {events_path}: {e}");
+        std::process::exit(2);
+    });
+    let cp = &trace.critical_path;
+    match cp.straggler() {
+        Some((machine, stall)) => eprintln!(
+            "[trace] straggler: machine {machine} (others stalled {stall} words on it); \
+             barrier makespan {} -> pipelined {}",
+            cp.barrier_makespan, cp.pipelined_makespan
+        ),
+        None => eprintln!("[trace] no critical-path rows recorded"),
+    }
+    eprintln!(
+        "[trace] wrote {out_path} ({} rounds x {} machines) and {events_path} ({} events) \
+         in {:.1}s",
+        cp.machine_rounds.len(),
+        cp.machine_rounds.first().map_or(0, Vec::len),
+        trace.events.len(),
+        start.elapsed().as_secs_f64()
+    );
 }
 
 /// `experiments bench`: the workload matrix -> BENCH_core.json.
@@ -293,7 +366,7 @@ fn run_tables(opt: &Options) {
     for id in &opt.ids {
         if id != "all" && !known.contains(&id.as_str()) {
             usage(&format!(
-                "unknown experiment {id:?}; known: {known:?}, 'all', or 'bench'"
+                "unknown experiment {id:?}; known: {known:?}, 'all', 'bench', or 'trace'"
             ));
         }
     }
@@ -342,6 +415,7 @@ fn list() -> ! {
         println!("  {id}");
     }
     println!("  bench");
+    println!("  trace");
     for suite in [BenchSuite::Quick, BenchSuite::Full] {
         println!("bench workloads ({}):", suite.label());
         for w in harness::workload_matrix(suite) {
@@ -374,6 +448,10 @@ fn print_usage() {
     eprintln!(
         "       experiments bench --tier huge [--out PATH]   # out-of-core 1e8-edge run \
          (nightly; HUGE_* env overrides)"
+    );
+    eprintln!(
+        "       experiments trace [--scheduler barrier|pipelined] [--executor NAME] \
+         [--out PATH]   # Chrome trace + events JSONL"
     );
     eprintln!("       experiments --list");
 }

@@ -15,6 +15,20 @@ use crate::harness::{run_workloads, workload_matrix, BenchSuite, ExecutorKind};
 use crate::schema::WorkloadReport;
 use crate::table::{f, Table};
 
+/// Names a report's straggler: the machine the others stall least on —
+/// i.e. the one setting the pace (see `CriticalPath::straggler`) — and
+/// how many stall words the rest accumulate waiting for it.
+fn straggler_cell(r: &WorkloadReport) -> String {
+    if r.critical_path.straggler_machine < 0 {
+        "-".to_string()
+    } else {
+        format!(
+            "m{} ({}w)",
+            r.critical_path.straggler_machine, r.critical_path.straggler_stall_words
+        )
+    }
+}
+
 /// Strips the `-{executor}` suffix off a workload id.
 fn base_id(r: &WorkloadReport) -> String {
     r.id.strip_suffix(&format!("-{}", r.executor))
@@ -62,6 +76,8 @@ pub fn compress(_opts: &ExpOptions) -> Vec<Table> {
             "cert rc",
             "w/LP* d",
             "w/LP* rc",
+            "straggler d",
+            "straggler rc",
         ],
     );
     let mut rc_round_wins = 0usize;
@@ -102,6 +118,8 @@ pub fn compress(_opts: &ExpOptions) -> Vec<Table> {
             f(r.quality.certified_ratio, 3),
             f(d.quality.ratio_vs_lp, 3),
             f(r.quality.ratio_vs_lp, 3),
+            straggler_cell(d),
+            straggler_cell(r),
         ]);
     }
 

@@ -19,12 +19,13 @@
 //! those, the gate fails loudly and the fix is a baseline refresh.
 
 use crate::schema::{
-    BenchReport, CriticalPathStats, ModelCosts, Quality, WorkloadReport, SCHEMA_VERSION,
+    BenchReport, CriticalPathStats, HostBreakdown, ModelCosts, Quality, WorkloadReport,
+    SCHEMA_VERSION,
 };
 use crate::table::{f, Table};
 use mpc_sim::RoundScheduler;
 use mwvc_baselines::{bar_yehuda_even, greedy_ratio_cover, lp_optimum};
-use mwvc_core::mpc::{DistributedExecutor, Executor, MpcMwvcConfig};
+use mwvc_core::mpc::{DistributedExecutor, Executor, ExecutorOutcome, MpcMwvcConfig};
 use mwvc_graph::{EdgeIndex, GraphPreset, WeightModel, WeightedGraph};
 use mwvc_roundcompress::{RoundCompressConfig, RoundCompressExecutor};
 use std::time::Instant;
@@ -260,14 +261,13 @@ pub struct InstanceContext {
     pub bye_weight: f64,
 }
 
-/// Builds the instance (graph, weights, LP bound, baselines) of a
-/// workload. Deterministic in the workload's instance key. File presets
-/// load their stored weights; generated presets sample the workload's
-/// weight model.
-pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
+/// Builds just the weighted instance of a workload — deterministic in
+/// its instance key, no reference quantities. File presets load their
+/// stored weights; generated presets sample the workload's weight model.
+pub fn build_graph(w: &BenchWorkload) -> WeightedGraph {
     let key = w.instance_key();
     let graph_seed = BENCH_BASE_SEED ^ fnv1a(&key);
-    let wg = if matches!(w.preset, GraphPreset::File { .. }) {
+    if matches!(w.preset, GraphPreset::File { .. }) {
         w.preset
             .load_weighted()
             .unwrap_or_else(|e| panic!("file workload {}: {e}", w.id))
@@ -275,7 +275,15 @@ pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
         let g = w.preset.build(graph_seed);
         let weights = w.weights.sample(&g, graph_seed ^ 0x5eed_0001);
         WeightedGraph::new(g, weights)
-    };
+    }
+}
+
+/// Builds the instance (graph, weights, LP bound, baselines) of a
+/// workload. Deterministic in the workload's instance key. File presets
+/// load their stored weights; generated presets sample the workload's
+/// weight model.
+pub fn build_instance(w: &BenchWorkload) -> InstanceContext {
+    let wg = build_graph(w);
     let eidx = EdgeIndex::build(&wg.graph);
     let lp_bound = lp_optimum(&wg).value;
     let greedy_weight = greedy_ratio_cover(&wg).weight(&wg);
@@ -353,14 +361,43 @@ pub fn run_on_instance_repeat(
             greedy_weight: ctx.greedy_weight,
             bye_weight: ctx.bye_weight,
         },
-        critical_path: CriticalPathStats {
-            barrier_makespan: outcome.critical_path.barrier_makespan as i64,
-            pipelined_makespan: outcome.critical_path.pipelined_makespan as i64,
-            barrier_stall: outcome.critical_path.barrier_stall as i64,
+        critical_path: {
+            let (straggler_machine, straggler_stall_words) = outcome
+                .critical_path
+                .straggler()
+                .map_or((-1, 0), |(machine, stall)| (machine as i64, stall as i64));
+            CriticalPathStats {
+                barrier_makespan: outcome.critical_path.barrier_makespan as i64,
+                pipelined_makespan: outcome.critical_path.pipelined_makespan as i64,
+                barrier_stall: outcome.critical_path.barrier_stall as i64,
+                straggler_machine,
+                straggler_stall_words,
+            }
         },
         wall_clock_s,
         round_wall_s: outcome.round_wall,
+        host_breakdown: if outcome.host_phases.is_empty() {
+            None
+        } else {
+            Some(HostBreakdown {
+                route_s: outcome.host_phases.iter().map(|p| p.route_s).sum(),
+                compute_s: outcome.host_phases.iter().map(|p| p.compute_s).sum(),
+                spill_s: outcome.host_phases.iter().map(|p| p.spill_s).sum(),
+            })
+        },
     }
+}
+
+/// Runs one workload and returns the raw executor outcome — the full
+/// audited trace (critical-path rows, model-domain events) plus the
+/// informational host phases. This is the `experiments trace` path: it
+/// skips the reference quantities ([`build_instance`] computes an exact
+/// LP optimum) because the exporters only consume the trace.
+pub fn run_for_trace(w: &BenchWorkload) -> ExecutorOutcome {
+    let wg = build_graph(w);
+    let algo_seed = BENCH_BASE_SEED ^ fnv1a(&w.id);
+    let exec = w.executor.build(w.epsilon, algo_seed, w.scheduler);
+    exec.run(&wg)
 }
 
 /// Builds and runs a single workload end to end (tests and spot checks;

@@ -28,6 +28,7 @@ pub mod huge;
 pub mod json;
 pub mod schema;
 pub mod table;
+pub mod tracefmt;
 pub mod workloads;
 
 pub use table::Table;

@@ -26,7 +26,15 @@ use crate::json::Json;
 /// v4: `"model"` gained `"spill_words"` — words written to per-machine
 /// spill files under an enforced memory budget (0 for fully resident
 /// runs). Gated like every other model field.
-pub const SCHEMA_VERSION: i64 = 4;
+///
+/// v5: `"critical_path"` gained the deterministic straggler breakdown
+/// (`"straggler_machine"`, `"straggler_stall_words"`: the machine every
+/// other machine waits for, named from the per-machine stall rows), and
+/// rows may carry an optional, ungated `"host_breakdown"` object — the
+/// informational route/compute/spill host wall-clock split. Pre-v5
+/// reports default the stragglers to `-1`/`0` and the breakdown to
+/// absent.
+pub const SCHEMA_VERSION: i64 = 5;
 
 /// Model-side costs of one workload run: exactly what the paper's MPC
 /// model charges for, as measured by the audited distributed executor.
@@ -90,6 +98,13 @@ pub struct CriticalPathStats {
     pub pipelined_makespan: i64,
     /// Total idle cost machines spend waiting at barriers.
     pub barrier_stall: i64,
+    /// The machine the others wait for: smallest total stall over the
+    /// run, ties to the lower id (`-1` when the run carried no
+    /// per-machine rows, e.g. a pre-v5 report or the reference executor).
+    pub straggler_machine: i64,
+    /// The straggler's total stall (words of barrier idle it *caused* is
+    /// everyone else's; its own is this, the minimum).
+    pub straggler_stall_words: i64,
 }
 
 impl CriticalPathStats {
@@ -101,13 +116,26 @@ impl CriticalPathStats {
                 Json::Int(self.pipelined_makespan),
             ),
             ("barrier_stall".into(), Json::Int(self.barrier_stall)),
+            (
+                "straggler_machine".into(),
+                Json::Int(self.straggler_machine),
+            ),
+            (
+                "straggler_stall_words".into(),
+                Json::Int(self.straggler_stall_words),
+            ),
         ])
     }
 
     /// Field names in schema order (the `bench-diff` comparator iterates
     /// these).
-    pub const FIELDS: &'static [&'static str] =
-        &["barrier_makespan", "pipelined_makespan", "barrier_stall"];
+    pub const FIELDS: &'static [&'static str] = &[
+        "barrier_makespan",
+        "pipelined_makespan",
+        "barrier_stall",
+        "straggler_machine",
+        "straggler_stall_words",
+    ];
 
     /// Typed field access for the comparator.
     pub fn field(&self, name: &str) -> i64 {
@@ -115,15 +143,66 @@ impl CriticalPathStats {
             "barrier_makespan" => self.barrier_makespan,
             "pipelined_makespan" => self.pipelined_makespan,
             "barrier_stall" => self.barrier_stall,
+            "straggler_machine" => self.straggler_machine,
+            "straggler_stall_words" => self.straggler_stall_words,
             other => unreachable!("unknown critical-path field {other}"),
         }
     }
 
-    fn from_json(j: &Json, ctx: &str) -> Result<Self, String> {
+    fn from_json(j: &Json, ctx: &str, schema_version: i64) -> Result<Self, String> {
+        // v4 reports predate the straggler breakdown; default it so the
+        // report still parses and the schema_version mismatch stays
+        // bench-diff's finding.
+        let (straggler_machine, straggler_stall_words) = if schema_version < 5 {
+            (
+                req_int(j, "straggler_machine", ctx).unwrap_or(-1),
+                req_int(j, "straggler_stall_words", ctx).unwrap_or(0),
+            )
+        } else {
+            (
+                req_int(j, "straggler_machine", ctx)?,
+                req_int(j, "straggler_stall_words", ctx)?,
+            )
+        };
         Ok(CriticalPathStats {
             barrier_makespan: req_int(j, "barrier_makespan", ctx)?,
             pipelined_makespan: req_int(j, "pipelined_makespan", ctx)?,
             barrier_stall: req_int(j, "barrier_stall", ctx)?,
+            straggler_machine,
+            straggler_stall_words,
+        })
+    }
+}
+
+/// The informational host wall-clock split of one workload run, summed
+/// over rounds: where the simulator's host time actually went. Never
+/// deterministic, never gated — the model-side twin of these quantities
+/// lives in `critical_path` and the trace events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostBreakdown {
+    /// Seconds spent routing (layout + placement; under the pipelined
+    /// scheduler this includes the overlapped compute).
+    pub route_s: f64,
+    /// Seconds spent in non-overlapped machine compute sweeps.
+    pub compute_s: f64,
+    /// Seconds spent on spill-file I/O.
+    pub spill_s: f64,
+}
+
+impl HostBreakdown {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("route_s".into(), Json::Num(self.route_s)),
+            ("compute_s".into(), Json::Num(self.compute_s)),
+            ("spill_s".into(), Json::Num(self.spill_s)),
+        ])
+    }
+
+    fn from_json(j: &Json, ctx: &str) -> Result<Self, String> {
+        Ok(HostBreakdown {
+            route_s: req_num(j, "route_s", ctx)?,
+            compute_s: req_num(j, "compute_s", ctx)?,
+            spill_s: req_num(j, "spill_s", ctx)?,
         })
     }
 }
@@ -158,6 +237,10 @@ pub struct WorkloadReport {
     /// Not gated: host wall-clock per MPC round, seconds, in execution
     /// order (host- and scheduler-dependent).
     pub round_wall_s: Vec<f64>,
+    /// Not gated, optional: where host wall-clock went (route vs compute
+    /// vs spill), summed over rounds. Absent for executors that run
+    /// through no audited cluster and in pre-v5 reports.
+    pub host_breakdown: Option<HostBreakdown>,
 }
 
 /// The full benchmark report (`BENCH_core.json`).
@@ -306,7 +389,7 @@ impl Quality {
 
 impl WorkloadReport {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("id".into(), Json::Str(self.id.clone())),
             ("executor".into(), Json::Str(self.executor.clone())),
             ("family".into(), Json::Str(self.family.clone())),
@@ -322,7 +405,11 @@ impl WorkloadReport {
                 "round_wall_s".into(),
                 Json::Arr(self.round_wall_s.iter().map(|&s| Json::Num(s)).collect()),
             ),
-        ])
+        ];
+        if let Some(hb) = self.host_breakdown {
+            fields.push(("host_breakdown".into(), hb.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(j: &Json, schema_version: i64) -> Result<Self, String> {
@@ -342,20 +429,29 @@ impl WorkloadReport {
         // and the schema_version mismatch stays bench-diff's finding.
         let critical_path = if schema_version < 3 {
             j.get("critical_path")
-                .map(|c| CriticalPathStats::from_json(c, &ctx))
+                .map(|c| CriticalPathStats::from_json(c, &ctx, schema_version))
                 .transpose()?
                 .unwrap_or(CriticalPathStats {
                     barrier_makespan: 0,
                     pipelined_makespan: 0,
                     barrier_stall: 0,
+                    straggler_machine: -1,
+                    straggler_stall_words: 0,
                 })
         } else {
             CriticalPathStats::from_json(
                 j.get("critical_path")
                     .ok_or(format!("{ctx}: missing critical_path"))?,
                 &ctx,
+                schema_version,
             )?
         };
+        // Optional at every version: informational, and executors without
+        // an audited cluster have nothing to report.
+        let host_breakdown = j
+            .get("host_breakdown")
+            .map(|h| HostBreakdown::from_json(h, &ctx))
+            .transpose()?;
         let round_wall_s = match j.get("round_wall_s") {
             Some(arr) => arr
                 .as_arr()
@@ -388,6 +484,7 @@ impl WorkloadReport {
             critical_path,
             wall_clock_s: req_num(j, "wall_clock_s", &ctx)?,
             round_wall_s,
+            host_breakdown,
             id,
         })
     }
@@ -499,9 +596,16 @@ pub fn synthetic_report() -> BenchReport {
                     barrier_makespan: 203,
                     pipelined_makespan: 202,
                     barrier_stall: 150,
+                    straggler_machine: 3,
+                    straggler_stall_words: 12,
                 },
                 wall_clock_s: 0.015625,
                 round_wall_s: vec![0.0078125, 0.00390625],
+                host_breakdown: Some(HostBreakdown {
+                    route_s: 0.0078125,
+                    compute_s: 0.00390625,
+                    spill_s: 0.001953125,
+                }),
             },
             WorkloadReport {
                 id: "rmat-zipf-eps16-n64-roundcompress".into(),
@@ -535,9 +639,12 @@ pub fn synthetic_report() -> BenchReport {
                     barrier_makespan: 90,
                     pipelined_makespan: 90,
                     barrier_stall: 0,
+                    straggler_machine: 0,
+                    straggler_stall_words: 0,
                 },
                 wall_clock_s: 0.03125,
                 round_wall_s: vec![0.015625],
+                host_breakdown: None,
             },
         ],
     }
@@ -649,6 +756,43 @@ mod tests {
             .replace("        \"spill_words\": 256,\n", "");
         let err = BenchReport::from_json(&v4).unwrap_err();
         assert!(err.contains("spill_words"), "{err}");
+    }
+
+    #[test]
+    fn v4_report_without_stragglers_parses_for_the_diff_gate() {
+        // A pre-v5 report has neither the straggler breakdown nor the
+        // optional host_breakdown; both must default so the version
+        // mismatch stays bench-diff's finding.
+        let mut report = synthetic_report();
+        report.schema_version = 4;
+        let text = report
+            .to_json()
+            .replace("        \"straggler_machine\": 3,\n", "")
+            .replace("        \"straggler_machine\": 0,\n", "")
+            // Last field of its object: the comma belongs to the line above.
+            .replace(",\n        \"straggler_stall_words\": 12", "")
+            .replace(",\n        \"straggler_stall_words\": 0", "");
+        let text = {
+            // Drop the host_breakdown object wholesale.
+            let start = text
+                .find(",\n      \"host_breakdown\"")
+                .expect("breakdown present");
+            let end = text[start..].find("}").expect("object closes") + start + 1;
+            format!("{}{}", &text[..start], &text[end..])
+        };
+        assert!(!text.contains("straggler"));
+        assert!(!text.contains("host_breakdown"));
+        let back = BenchReport::from_json(&text).expect("v4 parses");
+        assert_eq!(back.workloads[0].critical_path.straggler_machine, -1);
+        assert_eq!(back.workloads[0].critical_path.straggler_stall_words, 0);
+        assert!(back.workloads[0].host_breakdown.is_none());
+        // At the current schema the straggler fields are required (the
+        // breakdown stays optional — informational by design).
+        let v5 = synthetic_report()
+            .to_json()
+            .replace("        \"straggler_machine\": 3,\n", "");
+        let err = BenchReport::from_json(&v5).unwrap_err();
+        assert!(err.contains("straggler_machine"), "{err}");
     }
 
     #[test]

@@ -318,6 +318,9 @@ pub struct DistributedOutcome {
     /// Host wall-clock seconds per MPC round, in execution order. Purely
     /// informational: host- and scheduler-dependent, never gated.
     pub round_wall: Vec<f64>,
+    /// Host wall-clock per round split by phase (compute / route /
+    /// spill), in execution order. Informational, like `round_wall`.
+    pub host_phases: Vec<mpc_sim::HostPhase>,
 }
 
 impl DistributedOutcome {
@@ -578,6 +581,7 @@ pub fn run_distributed(
     // ascending by id), so each output slot has a unique source and the
     // gather is deterministic under any scheduling.
     let round_wall = cluster.round_wall().to_vec();
+    let host_phases = cluster.host_phases().to_vec();
     let (states, trace) = cluster.finish();
     let membership: Vec<bool> = (0..n)
         .into_par_iter()
@@ -628,6 +632,7 @@ pub fn run_distributed(
         final_stats,
         trace,
         round_wall,
+        host_phases,
     }
 }
 

@@ -102,6 +102,15 @@ pub struct ExecutorOutcome {
     /// Host wall-clock seconds per MPC round (informational; empty when
     /// the run went through no audited cluster).
     pub round_wall: Vec<f64>,
+    /// The full audited execution trace — per-round stats, violations,
+    /// and the deterministic model-domain event stream the observability
+    /// exporters render (empty when the run went through no audited
+    /// cluster).
+    pub trace: mpc_sim::ExecutionTrace,
+    /// Host wall-clock per round split by phase (compute / route /
+    /// spill). Informational, like `round_wall`; empty when the run went
+    /// through no audited cluster.
+    pub host_phases: Vec<mpc_sim::HostPhase>,
 }
 
 /// A complete MWVC algorithm the harness can run on any instance. See the
@@ -166,8 +175,10 @@ impl Executor for DistributedExecutor {
         ExecutorOutcome {
             solution: CoverCertificate::new(outcome.cover, outcome.certificate),
             cost,
-            critical_path: outcome.trace.critical_path,
+            critical_path: outcome.trace.critical_path.clone(),
             round_wall: outcome.round_wall,
+            trace: outcome.trace,
+            host_phases: outcome.host_phases,
         }
     }
 }
@@ -201,6 +212,8 @@ impl Executor for ReferenceExecutor {
             cost,
             critical_path: mpc_sim::CriticalPath::default(),
             round_wall: Vec::new(),
+            trace: mpc_sim::ExecutionTrace::default(),
+            host_phases: Vec::new(),
         }
     }
 }

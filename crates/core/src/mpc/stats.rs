@@ -221,6 +221,7 @@ mod tests {
             }],
             violations: vec![],
             critical_path: Default::default(),
+            events: vec![],
         };
         let cluster = MpcConfig::new(4, 1024);
         let report = CostReport::from_trace(3, &trace, &cluster);

@@ -1,5 +1,6 @@
 //! Per-round accounting: the quantities the MPC model charges for.
 
+use crate::events::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 /// Which model constraint a violation breached.
@@ -49,13 +50,32 @@ pub struct RoundStats {
     pub spill_words: u64,
 }
 
+/// One machine's simulated schedule entry for one round: when its work
+/// for the round could start in the dependency-pipelined DAG, what it
+/// costs, and how long it would idle at a barrier. All in the model's
+/// compute-cost units (words touched; see [`crate::pipeline`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineRound {
+    /// Earliest start in the pipelined DAG: the finish time of this
+    /// machine's previous round and of every round-`r-1` machine that
+    /// sent to it, whichever is later.
+    pub start: u64,
+    /// Simulated compute cost of this machine's round (`1 + words
+    /// received last round + words sent this round`).
+    pub cost: u64,
+    /// Idle cost under barrier execution: `round_max - cost`, i.e. how
+    /// long this machine waits at the barrier for the round's straggler.
+    /// Zero exactly for the straggler itself.
+    pub stall_words: u64,
+}
+
 /// Deterministic critical-path statistic of an execution, in simulated
 /// compute-cost units (words touched; see [`crate::pipeline`] for the
 /// cost model). Identical in both scheduler modes and at every host
 /// thread count — it measures what dependency-pipelined execution *could*
 /// overlap, independently of whether the host actually has the cores to
 /// realize it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CriticalPath {
     /// Makespan of barrier execution: the sum over rounds of the slowest
     /// machine's simulated compute cost.
@@ -69,6 +89,31 @@ pub struct CriticalPath {
     /// Total idle cost barrier execution spends waiting at round barriers:
     /// the sum over rounds and machines of `round_max - cost(machine)`.
     pub barrier_stall: u64,
+    /// The full per-round, per-machine breakdown behind the scalars:
+    /// `machine_rounds[round][machine]`. This is what names a straggler
+    /// (the machine with the smallest total `stall_words`) and what the
+    /// Chrome-trace exporter renders as a Gantt chart.
+    pub machine_rounds: Vec<Vec<MachineRound>>,
+}
+
+impl CriticalPath {
+    /// The straggler: the machine that keeps the others waiting the most,
+    /// i.e. the one with the *smallest* total `stall_words` over all
+    /// rounds (ties broken toward the lower machine id). `None` for an
+    /// empty breakdown.
+    pub fn straggler(&self) -> Option<(usize, u64)> {
+        let machines = self.machine_rounds.first()?.len();
+        (0..machines)
+            .map(|i| {
+                let stall: u64 = self
+                    .machine_rounds
+                    .iter()
+                    .map(|round| round[i].stall_words)
+                    .sum();
+                (i, stall)
+            })
+            .min_by_key(|&(i, stall)| (stall, i))
+    }
 }
 
 /// The full execution record of a cluster run.
@@ -81,6 +126,11 @@ pub struct ExecutionTrace {
     /// Critical-path totals over the executed rounds (see
     /// [`CriticalPath`]).
     pub critical_path: CriticalPath,
+    /// Deterministic model-domain instrumentation events, in (round,
+    /// machine, kind) order (see [`crate::events`]). Bit-identical across
+    /// host pool widths and both round schedulers — the determinism suite
+    /// pins it.
+    pub events: Vec<TraceEvent>,
 }
 
 /// A flat, serializable snapshot of everything the MPC model charges a
@@ -159,9 +209,12 @@ impl ExecutionTrace {
     }
 
     /// Appends another trace (e.g. a sub-phase) onto this one, reindexing
-    /// the violations' round numbers. Critical-path totals add up: the
+    /// the violations' and events' round numbers. Critical-path data
+    /// merges rather than keeping one side's: the scalars add up (the
     /// boundary between separately executed traces is a real barrier, so
-    /// both makespans (and the stall) compose by summation.
+    /// both makespans and the stall compose by summation), and the
+    /// per-machine rows are appended with their pipelined `start` times
+    /// shifted past everything this trace already scheduled.
     pub fn absorb(&mut self, other: ExecutionTrace) {
         let offset = self.rounds.len();
         self.rounds.extend(other.rounds);
@@ -170,6 +223,25 @@ impl ExecutionTrace {
                 v.round += offset;
                 v
             }));
+        self.events.extend(other.events.into_iter().map(|mut e| {
+            e.round += offset as u32;
+            e
+        }));
+        // The barrier at the trace boundary: nothing in `other` could have
+        // started before everything here finished.
+        let start_shift = self.critical_path.pipelined_makespan;
+        self.critical_path.machine_rounds.extend(
+            other
+                .critical_path
+                .machine_rounds
+                .into_iter()
+                .map(|mut round| {
+                    for mr in &mut round {
+                        mr.start += start_shift;
+                    }
+                    round
+                }),
+        );
         self.critical_path.barrier_makespan += other.critical_path.barrier_makespan;
         self.critical_path.pipelined_makespan += other.critical_path.pipelined_makespan;
         self.critical_path.barrier_stall += other.critical_path.barrier_stall;
@@ -197,6 +269,7 @@ mod tests {
             rounds: vec![stats("a", 10, 12, 100, 40), stats("b", 5, 30, 80, 60)],
             violations: vec![],
             critical_path: CriticalPath::default(),
+            events: vec![],
         };
         assert_eq!(t.num_rounds(), 2);
         assert_eq!(t.peak_resident(), 100);
@@ -228,6 +301,7 @@ mod tests {
                 cap: 5,
             }],
             critical_path: CriticalPath::default(),
+            events: vec![],
         };
         assert_eq!(t.summary().violations, 1);
         assert_eq!(t.summary().rounds, 1);
@@ -243,6 +317,7 @@ mod tests {
             rounds: vec![r0, r1],
             violations: vec![],
             critical_path: CriticalPath::default(),
+            events: vec![],
         };
         assert_eq!(t.total_spill(), 142);
         assert_eq!(t.summary().spill_words, 142);
@@ -257,6 +332,14 @@ mod tests {
         assert!(t.is_clean());
     }
 
+    fn mr(start: u64, cost: u64, stall: u64) -> MachineRound {
+        MachineRound {
+            start,
+            cost,
+            stall_words: stall,
+        }
+    }
+
     #[test]
     fn absorb_reindexes_violations() {
         let mut a = ExecutionTrace {
@@ -266,7 +349,9 @@ mod tests {
                 barrier_makespan: 10,
                 pipelined_makespan: 7,
                 barrier_stall: 3,
+                machine_rounds: vec![vec![mr(0, 7, 0), mr(0, 4, 3)]],
             },
+            events: vec![],
         };
         let b = ExecutionTrace {
             rounds: vec![stats("b", 2, 2, 2, 2)],
@@ -281,18 +366,83 @@ mod tests {
                 barrier_makespan: 4,
                 pipelined_makespan: 4,
                 barrier_stall: 0,
+                machine_rounds: vec![vec![mr(0, 4, 0), mr(0, 4, 0)]],
             },
+            events: vec![],
         };
         a.absorb(b);
         assert_eq!(a.num_rounds(), 2);
         assert_eq!(a.violations[0].round, 1);
-        assert_eq!(
-            a.critical_path,
-            CriticalPath {
-                barrier_makespan: 14,
-                pipelined_makespan: 11,
+        assert_eq!(a.critical_path.barrier_makespan, 14);
+        assert_eq!(a.critical_path.pipelined_makespan, 11);
+        assert_eq!(a.critical_path.barrier_stall, 3);
+    }
+
+    #[test]
+    fn absorb_merges_machine_rounds_and_events() {
+        use crate::events::{EventKind, TraceEvent};
+        let mut a = ExecutionTrace {
+            rounds: vec![stats("a", 1, 1, 1, 1)],
+            violations: vec![],
+            critical_path: CriticalPath {
+                barrier_makespan: 10,
+                pipelined_makespan: 7,
                 barrier_stall: 3,
-            }
+                machine_rounds: vec![vec![mr(0, 7, 0), mr(0, 4, 3)]],
+            },
+            events: vec![TraceEvent {
+                round: 0,
+                machine: 0,
+                kind: EventKind::SentWords,
+                value: 5,
+            }],
+        };
+        let b = ExecutionTrace {
+            rounds: vec![stats("b", 2, 2, 2, 2)],
+            violations: vec![],
+            critical_path: CriticalPath {
+                barrier_makespan: 4,
+                pipelined_makespan: 4,
+                barrier_stall: 1,
+                machine_rounds: vec![vec![mr(0, 4, 0), mr(0, 3, 1)]],
+            },
+            events: vec![TraceEvent {
+                round: 0,
+                machine: 1,
+                kind: EventKind::SpillWords,
+                value: 2,
+            }],
+        };
+        a.absorb(b);
+        // Both sides' breakdowns survive; the absorbed rows start after
+        // everything the first trace could have pipelined (a barrier).
+        assert_eq!(
+            a.critical_path.machine_rounds,
+            vec![
+                vec![mr(0, 7, 0), mr(0, 4, 3)],
+                vec![mr(7, 4, 0), mr(7, 3, 1)],
+            ]
         );
+        // Events keep both sides, with absorbed rounds reindexed.
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[1].round, 1);
+        assert_eq!(a.events[1].kind, EventKind::SpillWords);
+    }
+
+    #[test]
+    fn straggler_is_the_machine_others_wait_for() {
+        let cp = CriticalPath {
+            barrier_makespan: 0,
+            pipelined_makespan: 0,
+            barrier_stall: 0,
+            // Machine 1 stalls the least → it is the round-dominating
+            // straggler everyone else waits on.
+            machine_rounds: vec![
+                vec![mr(0, 2, 5), mr(0, 7, 0), mr(0, 4, 3)],
+                vec![mr(0, 6, 0), mr(0, 5, 1), mr(0, 2, 4)],
+            ],
+        };
+        assert_eq!(cp.straggler(), Some((1, 1)));
+        assert_eq!(CriticalPath::default().straggler(), None);
     }
 }

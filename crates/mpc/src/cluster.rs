@@ -20,6 +20,8 @@
 //! (`tests/fabric_properties.rs` pins this with a counting allocator).
 
 use crate::accounting::{ExecutionTrace, RoundStats, Violation, ViolationKind};
+use crate::events::EventKind;
+use crate::metrics::{HostPhase, MetricsRegistry};
 use crate::model::{Enforcement, MemoryBudget, MpcConfig};
 use crate::pipeline::{CpTracker, ReadinessBoard};
 use crate::router::{route, FlatInboxes, Outbox, RouteScratch};
@@ -241,6 +243,12 @@ pub struct Cluster<S, M> {
     /// and thread-count-dependent), so deliberately *not* part of the
     /// [`ExecutionTrace`] the determinism suite compares.
     pub(crate) round_wall: Vec<f64>,
+    /// Per-round host wall-clock split by phase (compute / route /
+    /// spill). Informational, like `round_wall`.
+    pub(crate) host_phases: Vec<HostPhase>,
+    /// Always-on metrics: the deterministic model plane and the
+    /// informational host plane.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl<S, M> Cluster<S, M>
@@ -266,6 +274,8 @@ where
             board: ReadinessBoard::new(m),
             cp: CpTracker::new(m),
             round_wall: Vec::new(),
+            host_phases: Vec::new(),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -311,15 +321,18 @@ where
         F: for<'a> Fn(&mut MachineCtx<M>, &mut S, Inbox<'a, M>) + Sync + Send,
     {
         let round_index = self.trace.rounds.len();
+        let _round_span = tracing::span!(tracing::Level::Debug, "round");
         let started = Instant::now();
 
         self.compute_all(&f);
+        let compute_s = started.elapsed().as_secs_f64();
 
         // Dependency capture must precede routing: the router empties the
         // outboxes' run tables while delivering.
         self.cp.capture_deps(&self.outboxes);
 
         // Communication: the only thing the model restricts.
+        let route_mark = Instant::now();
         route(
             &self.config,
             round_index,
@@ -327,8 +340,10 @@ where
             &mut self.inboxes,
             &mut self.scratch,
         );
+        let route_s = route_mark.elapsed().as_secs_f64();
 
         self.bookkeep_round(label, round_index);
+        self.finish_host_phase(compute_s, route_s);
         self.round_wall.push(started.elapsed().as_secs_f64());
     }
 
@@ -416,7 +431,18 @@ where
             }
         }
 
-        let spill_words: u64 = self.spills.iter_mut().map(|s| s.take_round_words()).sum();
+        // Per-machine spill accounting: the round's spilled words go into
+        // each machine's event ring (deterministic plane) and the host
+        // seconds the spill files measured go into the round's host
+        // phase (informational plane).
+        let mut spill_words = 0u64;
+        let mut spill_s = 0f64;
+        for (spill, ring) in self.spills.iter_mut().zip(&mut self.scratch.rings) {
+            let w = spill.take_round_words();
+            ring.record(EventKind::SpillWords, w);
+            spill_words += w;
+            spill_s += spill.take_round_secs();
+        }
         let total_traffic = self.scratch.sent_words.iter().sum();
         self.trace.rounds.push(RoundStats {
             label: label.to_string(),
@@ -438,7 +464,48 @@ where
 
         self.cp
             .advance(&self.scratch.sent_words, &self.scratch.received_words);
-        self.trace.critical_path = self.cp.snapshot();
+        self.cp.export_into(&mut self.trace.critical_path);
+
+        // Finish every machine's event row for the round — send volume
+        // and barrier stall, now that the critical-path advance fixed the
+        // round maximum — then drain the rings into the trace and fold
+        // the same quantities into the model metrics plane.
+        let latest = self.cp.latest();
+        for (i, ring) in self.scratch.rings.iter_mut().enumerate() {
+            let sent = self.scratch.sent_words[i] as u64;
+            let received = self.scratch.received_words[i] as u64;
+            let stall = latest[i].stall_words;
+            ring.record(EventKind::SentWords, sent);
+            ring.record(EventKind::StallWords, stall);
+            ring.drain_into(&mut self.trace.events, round_index as u32, i as u32);
+            self.metrics.model.words_routed.add(sent);
+            self.metrics.model.region_words.record(received);
+            self.metrics.model.stall_words.add(stall);
+            if stall > 0 {
+                self.metrics.model.readiness_waits.inc();
+            }
+        }
+        self.metrics.model.spill_words.add(spill_words);
+        // Open this round's host-phase row with the spill seconds; the
+        // scheduler fills compute/route via `finish_host_phase` once it
+        // knows its own wall-clock split.
+        self.metrics.host.spill_s.add(spill_s);
+        self.host_phases.push(HostPhase {
+            compute_s: 0.0,
+            route_s: 0.0,
+            spill_s,
+        });
+    }
+
+    /// Completes the host-phase row opened by [`Self::bookkeep_round`]
+    /// with the scheduler's compute/route wall-clock split.
+    pub(crate) fn finish_host_phase(&mut self, compute_s: f64, route_s: f64) {
+        if let Some(hp) = self.host_phases.last_mut() {
+            hp.compute_s = compute_s;
+            hp.route_s = route_s;
+        }
+        self.metrics.host.compute_s.add(compute_s);
+        self.metrics.host.route_s.add(route_s);
     }
 
     /// Host wall-clock seconds per executed round, in round order.
@@ -448,6 +515,21 @@ where
     /// round-`k+1` compute.
     pub fn round_wall(&self) -> &[f64] {
         &self.round_wall
+    }
+
+    /// Per-round host wall-clock split by phase (compute / route /
+    /// spill), in round order. Informational, like [`Self::round_wall`];
+    /// under the pipelined scheduler overlapped compute is folded into
+    /// `route_s` (see [`HostPhase`]).
+    pub fn host_phases(&self) -> &[HostPhase] {
+        &self.host_phases
+    }
+
+    /// The cluster's metrics registry: deterministic model-domain
+    /// counters plus informational host-time gauges, updated once per
+    /// round by the bookkeeping step.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Messages currently pending delivery to machine `i` (sent in the

@@ -67,6 +67,7 @@ mod tests {
                 .collect(),
             violations: vec![],
             critical_path: Default::default(),
+            events: vec![],
         }
     }
 
@@ -99,6 +100,7 @@ mod tests {
             }],
             violations: vec![],
             critical_path: Default::default(),
+            events: vec![],
         };
         assert_eq!(simulate_on_clique(&t, 100).rounds, 5);
     }

@@ -38,6 +38,8 @@
 pub mod accounting;
 pub mod cluster;
 pub mod congested_clique;
+pub mod events;
+pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod primitives;
@@ -48,9 +50,11 @@ pub(crate) mod sync;
 pub mod words;
 
 pub use accounting::{
-    CriticalPath, ExecutionTrace, RoundStats, TraceSummary, Violation, ViolationKind,
+    CriticalPath, ExecutionTrace, MachineRound, RoundStats, TraceSummary, Violation, ViolationKind,
 };
 pub use cluster::{Cluster, Inbox, MachineCtx};
+pub use events::{EventKind, EventRing, TraceEvent};
+pub use metrics::{HostMetrics, HostPhase, MetricsRegistry, ModelMetrics};
 pub use model::{Enforcement, MemoryBudget, MemoryRegime, MpcConfig, RoundScheduler};
 pub use pipeline::{ReadinessBoard, SegmentRound};
 pub use router::{FlatInboxes, Outbox, RouteScratch};

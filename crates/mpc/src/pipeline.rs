@@ -74,7 +74,7 @@
 //! [`ExecutionTrace::critical_path`](crate::ExecutionTrace), so the
 //! statistic is deterministic, mode-independent, and benchmark-gateable.
 
-use crate::accounting::CriticalPath;
+use crate::accounting::{CriticalPath, MachineRound};
 use crate::cluster::{Cluster, Inbox, MachineCtx};
 use crate::model::{MpcConfig, RoundScheduler};
 use crate::router::{
@@ -189,6 +189,10 @@ pub(crate) struct CpTracker {
     /// (sender, receiver) pairs of the round being advanced, captured
     /// from the outbox run tables before placement clears them.
     dep_edges: Vec<(u32, u32)>,
+    /// Per-machine row of the most recently advanced round (pipelined
+    /// start time, cost, barrier stall) — scratch for the bookkeeping
+    /// export, recycled every round.
+    latest: Vec<MachineRound>,
 }
 
 impl CpTracker {
@@ -201,6 +205,7 @@ impl CpTracker {
             prev_recv: vec![0; m],
             cost: vec![0; m],
             dep_edges: Vec::new(),
+            latest: (0..m).map(|_| MachineRound::default()).collect(),
         }
     }
 
@@ -228,10 +233,17 @@ impl CpTracker {
         }
         self.barrier_makespan += round_max;
         for i in 0..m {
-            self.barrier_stall += round_max - self.cost[i];
+            let stall = round_max - self.cost[i];
+            self.barrier_stall += stall;
             // A machine starts its round-r work once its own round-(r-1)
             // work and all its senders' round-(r-1) work are done.
-            self.f[i] = self.f[i].max(self.incoming[i]) + self.cost[i];
+            let start = self.f[i].max(self.incoming[i]);
+            self.f[i] = start + self.cost[i];
+            self.latest[i] = MachineRound {
+                start,
+                cost: self.cost[i],
+                stall_words: stall,
+            };
         }
         // Next round's wait-for-senders bound, from this round's edges
         // and the *new* finish times.
@@ -251,13 +263,20 @@ impl CpTracker {
         }
     }
 
-    /// The cumulative statistic for the trace.
-    pub(crate) fn snapshot(&self) -> CriticalPath {
-        CriticalPath {
-            barrier_makespan: self.barrier_makespan,
-            pipelined_makespan: self.f.iter().copied().max().unwrap_or(0),
-            barrier_stall: self.barrier_stall,
-        }
+    /// Folds the just-advanced round into the trace's critical path:
+    /// refreshes the cumulative scalars and appends the per-machine row.
+    /// Allocates (the row copy) — called from the bookkeeping step, which
+    /// is outside the fabric's zero-allocation pin.
+    pub(crate) fn export_into(&self, cp: &mut CriticalPath) {
+        cp.barrier_makespan = self.barrier_makespan;
+        cp.pipelined_makespan = self.f.iter().copied().max().unwrap_or(0);
+        cp.barrier_stall = self.barrier_stall;
+        cp.machine_rounds.push(self.latest.to_vec());
+    }
+
+    /// The per-machine rows of the most recently advanced round.
+    pub(crate) fn latest(&self) -> &[MachineRound] {
+        &self.latest
     }
 }
 
@@ -324,13 +343,19 @@ where
             return;
         }
         let m = self.config.num_machines;
+        let _segment_span = tracing::span!(tracing::Level::Debug, "segment");
         let mut mark = Instant::now();
         // Round 0's compute has nothing upstream in this segment to
         // overlap with: run it as a plain parallel sweep over the pending
         // inboxes.
         self.compute_all(&rounds[0].body);
+        // The segment's leading compute sweep is the only compute that is
+        // *not* overlapped into a placement stage; it is attributed to the
+        // first round's host phase, later rounds fold theirs into route_s.
+        let mut lead_compute_s = mark.elapsed().as_secs_f64();
         for k in 0..rounds.len() {
             let round_index = self.trace.rounds.len();
+            let _round_span = tracing::span!(tracing::Level::Debug, "round");
             self.scratch.reset_per_machine(m);
             // Layout before anything moves: word totals, region bounds,
             // and the per-(sender, destination) slot table. The pipelined
@@ -338,6 +363,15 @@ where
             // slots up front — so there is no sequential-shuffle cutover
             // here; output is bit-identical regardless.
             let base = layout_flat(m, &self.outboxes, &mut self.inboxes, &mut self.scratch);
+            self.scratch
+                .record_region_events(self.inboxes.region_lens());
+            tracing::event!(
+                tracing::Level::Trace,
+                "layout",
+                round = round_index,
+                machines = m,
+                messages = self.inboxes.total_messages()
+            );
             self.cp.capture_deps(&self.outboxes);
             // Enforcement and trace bookkeeping run from the layout's
             // final totals, strictly before any round-(k+1) compute can
@@ -356,7 +390,10 @@ where
                 self.place_and_compute(base, &rounds[k + 1].body);
             }
             let now = Instant::now();
-            self.round_wall.push(now.duration_since(mark).as_secs_f64());
+            let wall = now.duration_since(mark).as_secs_f64();
+            self.round_wall.push(wall);
+            self.finish_host_phase(lead_compute_s, (wall - lead_compute_s).max(0.0));
+            lead_compute_s = 0.0;
             mark = now;
         }
     }
@@ -467,6 +504,7 @@ pub fn pipelined_route_step<M, F>(
     assert_eq!(inboxes.num_machines(), m, "inboxes sized for the cluster");
     scratch.reset_per_machine(m);
     let base = layout_flat(m, outboxes, inboxes, scratch);
+    scratch.record_region_events(inboxes.region_lens());
     cap_check(config, round, scratch);
     board.reset(inboxes.region_lens());
     let board = &*board;
@@ -546,6 +584,14 @@ mod tests {
 
     // -- CpTracker cost model ---------------------------------------------
 
+    /// The tracker's cumulative scalars, via the same export the cluster
+    /// uses (the appended per-machine row is ignored here).
+    fn snapshot(cp: &CpTracker) -> CriticalPath {
+        let mut out = CriticalPath::default();
+        cp.export_into(&mut out);
+        out
+    }
+
     #[test]
     fn skewed_rounds_pipeline_below_barrier() {
         // Round A: 0→1 carries 100 words, 3→2 carries 1. Round B: 2→3
@@ -566,7 +612,7 @@ mod tests {
         }
         cp.capture_deps(&ob);
         cp.advance(&[0, 0, 100, 0], &[0, 0, 0, 100]);
-        let s = cp.snapshot();
+        let s = snapshot(&cp);
         assert_eq!(s.barrier_makespan, 203);
         assert_eq!(s.pipelined_makespan, 202);
         assert!(s.pipelined_makespan < s.barrier_makespan);
@@ -590,7 +636,7 @@ mod tests {
             cp.capture_deps(&ob);
             cp.advance(&[4; 4], &[4; 4]);
         }
-        let s = cp.snapshot();
+        let s = snapshot(&cp);
         assert_eq!(s.barrier_makespan, s.pipelined_makespan);
         assert_eq!(s.barrier_stall, 0);
     }
@@ -622,7 +668,7 @@ mod tests {
             }
             cp.capture_deps(&ob);
             cp.advance(&sent, &recv);
-            let s = cp.snapshot();
+            let s = snapshot(&cp);
             assert!(s.pipelined_makespan <= s.barrier_makespan);
         }
     }

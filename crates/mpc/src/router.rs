@@ -48,6 +48,7 @@
 //! the pre-flat [`reference_shuffle`] retained as the test/bench oracle.
 
 use crate::accounting::{Violation, ViolationKind};
+use crate::events::{EventKind, EventRing, TraceEvent};
 use crate::model::{Enforcement, MpcConfig};
 use crate::words::Words;
 use rayon::prelude::*;
@@ -341,6 +342,11 @@ pub struct RouteScratch {
     pub(crate) starts: Vec<usize>,
     /// Capacity breaches of the last routed round (audit mode).
     pub violations: Vec<Violation>,
+    /// Per-machine instrumentation rings: fixed-capacity, recycled every
+    /// round like every other buffer here, so recording model-domain
+    /// events on the hot path never allocates. The cluster's bookkeeping
+    /// drains them into the trace once per round.
+    pub(crate) rings: Vec<EventRing>,
 }
 
 impl RouteScratch {
@@ -349,7 +355,9 @@ impl RouteScratch {
         Self::default()
     }
 
-    /// (Re)sizes the per-machine vectors and clears totals.
+    /// (Re)sizes the per-machine vectors and clears totals. The event
+    /// rings are only (re)sized, never cleared: they may hold events
+    /// recorded since the last bookkeeping drain.
     pub(crate) fn reset_per_machine(&mut self, m: usize) {
         self.sent_words.clear();
         self.sent_words.resize(m, 0);
@@ -358,6 +366,32 @@ impl RouteScratch {
         self.recv_msgs.clear();
         self.recv_msgs.resize(m, 0);
         self.violations.clear();
+        if self.rings.len() < m {
+            self.rings.resize_with(m, EventRing::new);
+        }
+    }
+
+    /// Records the per-machine region shape of a freshly laid-out round
+    /// — [`EventKind::RegionMsgs`] and [`EventKind::RegionWords`] — into
+    /// the event rings. Called once per round, after the layout has
+    /// finalized `received_words` and the region lengths, on both fabric
+    /// paths and both schedulers (identical values, identical order).
+    pub(crate) fn record_region_events(&mut self, region_lens: &[usize]) {
+        let received = &self.received_words;
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            ring.record(EventKind::RegionMsgs, region_lens[i] as u64);
+            ring.record(EventKind::RegionWords, received[i] as u64);
+        }
+    }
+
+    /// Drains every machine's event ring into `out` tagged with `round`
+    /// (machine order, recording order within a machine). The cluster's
+    /// bookkeeping step interleaves its own recordings before draining;
+    /// this is the standalone form for tests and bare-fabric drivers.
+    pub fn drain_events_into(&mut self, out: &mut Vec<TraceEvent>, round: u32) {
+        for (machine, ring) in self.rings.iter_mut().enumerate() {
+            ring.drain_into(out, round, machine as u32);
+        }
     }
 
     /// (Re)sizes and zeroes the flat `m*m` tables of the parallel path.
@@ -440,6 +474,14 @@ pub fn route_forced<M: Words + Send + Sync>(
         shuffle_sequential(m, outboxes, inboxes, scratch);
     }
 
+    scratch.record_region_events(inboxes.region_lens());
+    tracing::event!(
+        tracing::Level::Trace,
+        "route",
+        round = round,
+        machines = m,
+        messages = inboxes.total_messages()
+    );
     cap_check(config, round, scratch);
 }
 

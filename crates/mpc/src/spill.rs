@@ -51,6 +51,10 @@ pub struct SpillFile {
     stored_words: u64,
     /// Read position in words, advanced by `read_words`.
     read_cursor: u64,
+    /// Host seconds spent in spill I/O since the last
+    /// `take_round_secs` drain. Informational only (host-dependent);
+    /// feeds the cluster's per-round host-phase split, never the trace.
+    round_secs: f64,
 }
 
 impl SpillFile {
@@ -65,6 +69,8 @@ impl SpillFile {
         if words.is_empty() {
             return;
         }
+        let io_mark = std::time::Instant::now();
+        tracing::event!(tracing::Level::Trace, "spill_write", words = words.len());
         if self.file.is_none() {
             static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
             let uniq = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -88,6 +94,7 @@ impl SpillFile {
         self.stored_words += words.len() as u64;
         self.spilled_words += words.len() as u64;
         self.round_words += words.len() as u64;
+        self.round_secs += io_mark.elapsed().as_secs_f64();
     }
 
     /// Rewinds the read cursor to the start of the stored words.
@@ -106,6 +113,7 @@ impl SpillFile {
         if take == 0 {
             return 0;
         }
+        let io_mark = std::time::Instant::now();
         // Seek explicitly: the OS cursor may sit at the append position
         // after an interleaved write.
         f.seek(SeekFrom::Start(self.read_cursor * 8))
@@ -113,6 +121,7 @@ impl SpillFile {
         f.read_exact(words_as_bytes_mut(&mut buf[..take]))
             .expect("read spill file");
         self.read_cursor += take as u64;
+        self.round_secs += io_mark.elapsed().as_secs_f64();
         take
     }
 
@@ -138,6 +147,13 @@ impl SpillFile {
     /// [`RoundStats::spill_words`](crate::RoundStats).
     pub fn take_round_words(&mut self) -> u64 {
         std::mem::take(&mut self.round_words)
+    }
+
+    /// Drains the host seconds spent in spill I/O since the last call —
+    /// the accounting layer folds this into the round's host-phase
+    /// split. Informational only, never part of the deterministic trace.
+    pub fn take_round_secs(&mut self) -> f64 {
+        std::mem::take(&mut self.round_secs)
     }
 }
 

@@ -254,6 +254,9 @@ pub struct RoundCompressOutcome {
     /// Host wall-clock seconds per MPC round, in execution order. Purely
     /// informational: host- and scheduler-dependent, never gated.
     pub round_wall: Vec<f64>,
+    /// Host wall-clock per round split by phase (compute / route /
+    /// spill), in execution order. Informational, like `round_wall`.
+    pub host_phases: Vec<mpc_sim::HostPhase>,
 }
 
 impl RoundCompressOutcome {
@@ -554,6 +557,7 @@ pub fn run_roundcompress(
     // ownership (every vertex has one owner, every edge one home; both
     // lists are kept ascending, so the gather is deterministic).
     let round_wall = cluster.round_wall().to_vec();
+    let host_phases = cluster.host_phases().to_vec();
     let (states, trace) = cluster.finish();
     let membership: Vec<bool> = (0..n)
         .into_par_iter()
@@ -616,6 +620,7 @@ pub fn run_roundcompress(
         hit_max_levels,
         trace,
         round_wall,
+        host_phases,
     }
 }
 
@@ -940,8 +945,10 @@ impl Executor for RoundCompressExecutor {
         ExecutorOutcome {
             solution: CoverCertificate::new(out.cover, out.certificate),
             cost,
-            critical_path: out.trace.critical_path,
+            critical_path: out.trace.critical_path.clone(),
             round_wall: out.round_wall,
+            trace: out.trace,
+            host_phases: out.host_phases,
         }
     }
 }

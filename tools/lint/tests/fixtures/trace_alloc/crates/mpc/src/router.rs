@@ -1,0 +1,29 @@
+//! Fixture: a trace invocation that builds an owned value per event in a
+//! zero-allocation-pinned module.
+
+pub fn route_hot_path(round: u64, words: u64) -> u64 {
+    // Clean call: plain integer fields only, must not fire.
+    tracing::event!(
+        tracing::Level::Debug,
+        "route.segment",
+        round = round,
+        words = words
+    );
+    // Allocating call: formats a string per event, must fire.
+    tracing::event!(
+        tracing::Level::Debug,
+        "route.segment",
+        label = format!("round {round}"),
+        words = words
+    );
+    round + words
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may allocate in trace calls freely: not flagged.
+    #[test]
+    fn tests_are_exempt() {
+        tracing::event!(tracing::Level::Debug, "t", s = format!("x"));
+    }
+}

@@ -117,6 +117,18 @@ fn pinned_allocation_in_pipeline_fires() {
 }
 
 #[test]
+fn trace_allocation_fires() {
+    let violations = assert_fires("trace_alloc", Rule::TraceAlloc, "crates/mpc/src/router.rs");
+    let count = violations
+        .iter()
+        .filter(|v| v.rule == Rule::TraceAlloc)
+        .count();
+    // Only the `format!` call inside the second `event!` invocation fires;
+    // the integer-field call and the test module are exempt.
+    assert_eq!(count, 1, "got: {violations:?}");
+}
+
+#[test]
 fn stale_allowlist_entry_fires() {
     assert_fires("stale_allow", Rule::StaleAllow, repo_lint::ALLOWLIST_PATH);
 }

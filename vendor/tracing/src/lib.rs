@@ -1,0 +1,282 @@
+//! Offline stand-in for `tracing`: structured spans and events with
+//! static callsite metadata, severity levels, and a single pluggable
+//! process-wide [`Subscriber`].
+//!
+//! The design goals, in order:
+//!
+//! 1. **Zero cost when compiled out.** With the `enabled` feature off,
+//!    [`span!`] and [`event!`] expand to an uncalled closure that merely
+//!    borrows their arguments — nothing is evaluated, nothing is
+//!    reachable at runtime, and the binary carries no callsite metadata.
+//! 2. **Allocation-free when compiled in.** Callsite metadata is a
+//!    `static`; event fields are `(&'static str, u64)` pairs in a stack
+//!    array; dispatch is one atomic load plus a branch when no
+//!    subscriber is installed. The hot paths of the MPC fabric call
+//!    these macros inside modules whose steady-state rounds are pinned
+//!    to zero heap allocations, so nothing here may allocate.
+//! 3. **Deterministic.** The crate itself never reads clocks or random
+//!    state; any notion of time lives in the subscriber, keeping
+//!    model-domain instrumentation bit-reproducible.
+//!
+//! Unlike the real `tracing`, fields are integers only (`u64`): that is
+//! all the simulator needs (words, rounds, machine ids), and it is what
+//! makes the no-allocation guarantee easy to audit.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Severity of a span or event, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Finest-grained hot-path detail (per-route, per-spill).
+    Trace,
+    /// Diagnostic detail useful when debugging a subsystem.
+    Debug,
+    /// High-level progress (rounds, segments, phases).
+    Info,
+    /// Something surprising but recoverable.
+    Warn,
+    /// A failure the caller is about to surface.
+    Error,
+}
+
+impl Level {
+    /// The canonical uppercase name (`"TRACE"`, ..., `"ERROR"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static description of one callsite, baked into the binary by the
+/// [`span!`] / [`event!`] macros. Subscribers receive a `&'static`
+/// reference, so the pointer itself is a cheap unique callsite id.
+#[derive(Debug)]
+pub struct Metadata {
+    /// The span or event name (a string literal at the callsite).
+    pub name: &'static str,
+    /// The enclosing module path (`module_path!` at the callsite).
+    pub target: &'static str,
+    /// Severity of the callsite.
+    pub level: Level,
+    /// Source file of the callsite.
+    pub file: &'static str,
+    /// Source line of the callsite.
+    pub line: u32,
+}
+
+/// A sink for spans and events. Implementations must not assume they
+/// are called from any particular thread: the fabric emits events from
+/// worker threads inside `rayon` scopes.
+///
+/// Subscribers on the simulator's hot paths must not allocate — the
+/// zero-allocation counting-allocator tests install one and pin exactly
+/// that.
+pub trait Subscriber: Sync {
+    /// Level/target filter consulted before `enter`/`event`. The default
+    /// accepts everything.
+    fn enabled(&self, meta: &'static Metadata) -> bool {
+        let _ = meta;
+        true
+    }
+
+    /// A span was entered (guard construction).
+    fn enter(&self, meta: &'static Metadata);
+
+    /// A span was exited (guard drop).
+    fn exit(&self, meta: &'static Metadata);
+
+    /// An event fired with the given integer fields.
+    fn event(&self, meta: &'static Metadata, fields: &[(&'static str, u64)]);
+}
+
+/// The process-wide subscriber slot. `OnceLock` gives the lock-free
+/// read path: `get` is one atomic acquire load.
+static SUBSCRIBER: OnceLock<&'static dyn Subscriber> = OnceLock::new();
+
+/// Error returned by [`set_subscriber`] when a subscriber was already
+/// installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetSubscriberError;
+
+impl fmt::Display for SetSubscriberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a global subscriber is already installed")
+    }
+}
+
+impl std::error::Error for SetSubscriberError {}
+
+/// Installs the process-wide subscriber. At most one ever wins; later
+/// calls fail and leave the first installed (there is deliberately no
+/// uninstall, so `&'static` borrows held by guards stay valid forever).
+pub fn set_subscriber(sub: &'static dyn Subscriber) -> Result<(), SetSubscriberError> {
+    SUBSCRIBER.set(sub).map_err(|_| SetSubscriberError)
+}
+
+/// The installed subscriber, if any. This is the branch every macro
+/// takes first: `None` is the common fast path.
+pub fn subscriber() -> Option<&'static dyn Subscriber> {
+    SUBSCRIBER.get().copied()
+}
+
+/// RAII guard returned by [`span!`]: exits the span on drop. A guard
+/// with no metadata (no subscriber at entry, or the compiled-out path)
+/// does nothing on drop.
+#[must_use = "a span is exited when its guard drops; binding to `_` exits immediately"]
+pub struct SpanGuard {
+    meta: Option<&'static Metadata>,
+}
+
+impl SpanGuard {
+    /// A guard that never notifies anyone — the disabled/filtered path.
+    pub fn disabled() -> Self {
+        SpanGuard { meta: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(meta) = self.meta {
+            if let Some(sub) = subscriber() {
+                sub.exit(meta);
+            }
+        }
+    }
+}
+
+/// Enters a span at `meta` if a subscriber is installed and accepts it.
+/// Callers normally go through [`span!`], which supplies the static
+/// metadata.
+pub fn enter_span(meta: &'static Metadata) -> SpanGuard {
+    match subscriber() {
+        Some(sub) if sub.enabled(meta) => {
+            sub.enter(meta);
+            SpanGuard { meta: Some(meta) }
+        }
+        _ => SpanGuard { meta: None },
+    }
+}
+
+/// Dispatches an event if a subscriber is installed and accepts it.
+/// Callers normally go through [`event!`].
+pub fn dispatch_event(meta: &'static Metadata, fields: &[(&'static str, u64)]) {
+    if let Some(sub) = subscriber() {
+        if sub.enabled(meta) {
+            sub.event(meta, fields);
+        }
+    }
+}
+
+/// Opens a span: `let _span = span!(Level::Info, "round");`. Returns a
+/// [`SpanGuard`] that exits the span when dropped. With the `enabled`
+/// feature off this evaluates nothing and returns an inert guard.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr $(,)?) => {{
+        static __CALLSITE: $crate::Metadata = $crate::Metadata {
+            name: $name,
+            target: ::core::module_path!(),
+            level: $level,
+            file: ::core::file!(),
+            line: ::core::line!(),
+        };
+        $crate::enter_span(&__CALLSITE)
+    }};
+}
+
+/// Compiled-out twin of [`span!`]: borrows its arguments inside an
+/// uncalled closure (so they stay used and type-checked) and returns an
+/// inert guard. No metadata is emitted, nothing runs.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr $(,)?) => {{
+        let _ = || {
+            let _ = &$level;
+            let _ = &$name;
+        };
+        $crate::SpanGuard::disabled()
+    }};
+}
+
+/// Emits an event with integer fields:
+/// `event!(Level::Trace, "route", round = r, words = w);`. Field values
+/// are cast `as u64`. With the `enabled` feature off this evaluates
+/// nothing.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        static __CALLSITE: $crate::Metadata = $crate::Metadata {
+            name: $name,
+            target: ::core::module_path!(),
+            level: $level,
+            file: ::core::file!(),
+            line: ::core::line!(),
+        };
+        $crate::dispatch_event(
+            &__CALLSITE,
+            &[$((::core::stringify!($key), ($value) as u64)),*],
+        );
+    }};
+}
+
+/// Compiled-out twin of [`event!`]: borrows its arguments inside an
+/// uncalled closure — field expressions are never evaluated.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let _ = || {
+            let _ = &$level;
+            let _ = &$name;
+            $(let _ = &$value;)*
+        };
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_render() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Info.as_str(), "INFO");
+        assert_eq!(format!("{}", Level::Error), "ERROR");
+    }
+
+    // Subscriber-installation behavior lives in the integration tests
+    // (`tests/subscriber.rs` and `tests/no_subscriber.rs`): the global
+    // slot is process-wide, so each installation scenario needs its own
+    // test binary.
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_macros_evaluate_nothing() {
+        let mut calls = 0u32;
+        let mut bump = || {
+            calls += 1;
+            0u64
+        };
+        event!(Level::Info, "off", value = bump());
+        let _span = span!(Level::Info, "off");
+        assert_eq!(calls, 0, "disabled event! must not evaluate its fields");
+    }
+}

@@ -1,0 +1,20 @@
+//! The no-subscriber fast path: with nothing installed, spans and
+//! events are inert — safe to fire from any thread, no panics, no
+//! observable effect. This runs in its own test binary (own process) so
+//! no other test can have installed a global subscriber first.
+
+use tracing::{event, span, subscriber, Level};
+
+#[test]
+fn macros_are_inert_without_a_subscriber() {
+    assert!(
+        subscriber().is_none(),
+        "fresh process must have no subscriber"
+    );
+    for i in 0..4u64 {
+        let _span = span!(Level::Info, "round");
+        event!(Level::Trace, "route", round = i, words = i * 3);
+    }
+    // Firing callsites must not have installed anything as a side effect.
+    assert!(subscriber().is_none());
+}

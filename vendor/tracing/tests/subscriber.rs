@@ -1,0 +1,80 @@
+//! Subscriber dispatch: spans enter/exit, events deliver their static
+//! metadata and integer fields, the `enabled` filter is honored, and
+//! the global slot is install-once. Own test binary = own process, so
+//! this test owns the global subscriber.
+#![cfg(feature = "enabled")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tracing::{event, set_subscriber, span, Level, Metadata, Subscriber};
+
+struct Counting {
+    enters: AtomicU64,
+    exits: AtomicU64,
+    events: AtomicU64,
+    field_sum: AtomicU64,
+}
+
+impl Subscriber for Counting {
+    fn enabled(&self, meta: &'static Metadata) -> bool {
+        meta.level >= Level::Info
+    }
+
+    fn enter(&self, meta: &'static Metadata) {
+        assert_eq!(meta.name, "round");
+        self.enters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn exit(&self, meta: &'static Metadata) {
+        assert_eq!(meta.name, "round");
+        self.exits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn event(&self, meta: &'static Metadata, fields: &[(&'static str, u64)]) {
+        assert_eq!(meta.name, "route");
+        assert_eq!(meta.level, Level::Info);
+        assert!(
+            meta.file.ends_with("subscriber.rs"),
+            "callsite file: {}",
+            meta.file
+        );
+        assert!(meta.line > 0);
+        self.events.fetch_add(1, Ordering::Relaxed);
+        for (key, value) in fields {
+            assert!(*key == "round" || *key == "words", "unexpected field {key}");
+            self.field_sum.fetch_add(*value, Ordering::Relaxed);
+        }
+    }
+}
+
+static SUB: Counting = Counting {
+    enters: AtomicU64::new(0),
+    exits: AtomicU64::new(0),
+    events: AtomicU64::new(0),
+    field_sum: AtomicU64::new(0),
+};
+
+#[test]
+fn spans_and_events_reach_the_subscriber() {
+    set_subscriber(&SUB).expect("first install wins");
+    assert!(set_subscriber(&SUB).is_err(), "second install must fail");
+
+    {
+        let _span = span!(Level::Info, "round");
+        event!(Level::Info, "route", round = 3u64, words = 4u64);
+        // Below the subscriber's level filter: must not be delivered.
+        event!(Level::Trace, "route", round = 100u64);
+    }
+
+    assert_eq!(SUB.enters.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        SUB.exits.load(Ordering::Relaxed),
+        1,
+        "guard drop must exit the span"
+    );
+    assert_eq!(
+        SUB.events.load(Ordering::Relaxed),
+        1,
+        "filtered event must not count"
+    );
+    assert_eq!(SUB.field_sum.load(Ordering::Relaxed), 7);
+}
