@@ -15,6 +15,7 @@
 //! experiments bench --tier huge     # out-of-core 1e8-edge tier (nightly)
 //! experiments trace                 # Perfetto timeline -> TRACE.json (+ events JSONL)
 //! experiments trace --scheduler barrier --out B.json
+//! experiments chaos --quick         # seeded fault-injection sweep (CI chaos gate)
 //! experiments --list                # enumerate experiments and workloads
 //! ```
 //!
@@ -179,7 +180,53 @@ fn main() {
         run_trace(&opt);
         return;
     }
+    if opt.ids.iter().any(|id| id == "chaos") {
+        run_chaos(&opt);
+        return;
+    }
     run_tables(&opt);
+}
+
+/// `experiments chaos`: the deterministic fault-injection sweep — both
+/// flagship executors under the seeded fault matrix of
+/// [`mwvc_bench::chaos`], both schedulers, asserting gated-output
+/// bit-identity against the fault-free baseline and typed errors for
+/// unrecoverable plans. Exit 0 when the contract holds, 1 on any
+/// violation (the CI chaos job also runs the suite under
+/// `CHAOS_MUTATE=skip-retry` / `stale-checkpoint` and requires *that*
+/// exit to be nonzero).
+fn run_chaos(opt: &Options) {
+    if opt.ids.len() != 1 {
+        usage("'chaos' cannot be combined with other experiments");
+    }
+    if opt.full || opt.tier.is_some() || opt.graph.is_some() || opt.repeat.is_some() {
+        usage("--full/--tier/--graph/--repeat do not apply to 'chaos'");
+    }
+    if opt.executor_set || opt.scheduler.is_some() || opt.out.is_some() {
+        usage(
+            "'chaos' always sweeps every executor and scheduler; \
+             --executor/--scheduler/--out do not apply",
+        );
+    }
+    if let Some(name) = std::env::var_os("CHAOS_MUTATE") {
+        eprintln!("[chaos] CHAOS_MUTATE={name:?}: the sweep is expected to FAIL");
+    }
+    let start = Instant::now();
+    eprintln!("[chaos] running the seeded fault matrix...");
+    let report = mwvc_bench::chaos::run_chaos(opt.quick);
+    emit_tables("chaos", &[report.table], &opt.csv_dir);
+    eprintln!(
+        "[chaos] {} faulted runs, {} failure(s) in {:.1}s",
+        report.runs,
+        report.failures.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("[chaos] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// `experiments trace`: run one skewed quick workload and export its
@@ -366,7 +413,7 @@ fn run_tables(opt: &Options) {
     for id in &opt.ids {
         if id != "all" && !known.contains(&id.as_str()) {
             usage(&format!(
-                "unknown experiment {id:?}; known: {known:?}, 'all', 'bench', or 'trace'"
+                "unknown experiment {id:?}; known: {known:?}, 'all', 'bench', 'trace', or 'chaos'"
             ));
         }
     }
@@ -416,6 +463,7 @@ fn list() -> ! {
     }
     println!("  bench");
     println!("  trace");
+    println!("  chaos");
     for suite in [BenchSuite::Quick, BenchSuite::Full] {
         println!("bench workloads ({}):", suite.label());
         for w in harness::workload_matrix(suite) {
@@ -452,6 +500,10 @@ fn print_usage() {
     eprintln!(
         "       experiments trace [--scheduler barrier|pipelined] [--executor NAME] \
          [--out PATH]   # Chrome trace + events JSONL"
+    );
+    eprintln!(
+        "       experiments chaos [--quick] [--csv DIR] [--threads N]   # seeded \
+         fault-injection sweep"
     );
     eprintln!("       experiments --list");
 }

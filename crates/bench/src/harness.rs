@@ -350,6 +350,8 @@ pub fn run_on_instance_repeat(
             peak_round_words: traffic.peak_round_words as i64,
             peak_resident_words: traffic.peak_resident_words as i64,
             spill_words: traffic.spill_words as i64,
+            checkpoint_words: traffic.checkpoint_words as i64,
+            replayed_rounds: traffic.replayed_rounds as i64,
             violations: traffic.violations as i64,
         },
         quality: Quality {

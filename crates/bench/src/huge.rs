@@ -192,6 +192,8 @@ pub fn run_huge(p: &HugeParams) -> Result<(BenchReport, Table), String> {
             peak_round_words: summary.peak_round_words as i64,
             peak_resident_words: summary.peak_resident_words as i64,
             spill_words: summary.spill_words as i64,
+            checkpoint_words: summary.checkpoint_words as i64,
+            replayed_rounds: summary.replayed_rounds as i64,
             violations: summary.violations as i64,
         },
         quality: Quality {

@@ -21,6 +21,7 @@
 //! `bench-diff` binary ([`diff`]) compares two such files and is what the
 //! CI `perf-gate` job runs against `benchmarks/baseline.json`.
 
+pub mod chaos;
 pub mod diff;
 pub mod experiments;
 pub mod harness;

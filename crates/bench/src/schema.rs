@@ -34,7 +34,13 @@ use crate::json::Json;
 /// informational route/compute/spill host wall-clock split. Pre-v5
 /// reports default the stragglers to `-1`/`0` and the breakdown to
 /// absent.
-pub const SCHEMA_VERSION: i64 = 5;
+///
+/// v6: `"model"` gained `"checkpoint_words"` and `"replayed_rounds"` —
+/// the recovery-side accounting of the fault-injection layer (words
+/// written to crash-recovery checkpoints; rounds re-executed from one).
+/// Both are 0 for every fault-free run, so pre-v6 reports default them
+/// to 0 and every pre-existing gated field is byte-identical to v5.
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// Model-side costs of one workload run: exactly what the paper's MPC
 /// model charges for, as measured by the audited distributed executor.
@@ -58,6 +64,12 @@ pub struct ModelCosts {
     /// only when an enforced memory budget forced the working set out of
     /// core).
     pub spill_words: i64,
+    /// Words written to crash-recovery checkpoints (nonzero only under
+    /// fault injection; charged separately from `spill_words` so fault-
+    /// free and faulty-but-recovered runs stay bit-identical).
+    pub checkpoint_words: i64,
+    /// Rounds re-executed from a checkpoint after injected crashes.
+    pub replayed_rounds: i64,
     /// Model-constraint breaches (must be 0 under strict enforcement).
     pub violations: i64,
 }
@@ -275,6 +287,8 @@ impl ModelCosts {
                 Json::Int(self.peak_resident_words),
             ),
             ("spill_words".into(), Json::Int(self.spill_words)),
+            ("checkpoint_words".into(), Json::Int(self.checkpoint_words)),
+            ("replayed_rounds".into(), Json::Int(self.replayed_rounds)),
             ("violations".into(), Json::Int(self.violations)),
         ])
     }
@@ -289,6 +303,8 @@ impl ModelCosts {
         "peak_round_words",
         "peak_resident_words",
         "spill_words",
+        "checkpoint_words",
+        "replayed_rounds",
         "violations",
     ];
 
@@ -302,6 +318,8 @@ impl ModelCosts {
             "peak_round_words" => self.peak_round_words,
             "peak_resident_words" => self.peak_resident_words,
             "spill_words" => self.spill_words,
+            "checkpoint_words" => self.checkpoint_words,
+            "replayed_rounds" => self.replayed_rounds,
             "violations" => self.violations,
             other => unreachable!("unknown model field {other}"),
         }
@@ -321,6 +339,19 @@ impl ModelCosts {
         } else {
             req_int(j, "spill_words", ctx)?
         };
+        // v5 reports predate fault injection; every such run was
+        // fault-free, so 0 is the faithful value for both fields.
+        let (checkpoint_words, replayed_rounds) = if schema_version < 6 {
+            (
+                req_int(j, "checkpoint_words", ctx).unwrap_or(0),
+                req_int(j, "replayed_rounds", ctx).unwrap_or(0),
+            )
+        } else {
+            (
+                req_int(j, "checkpoint_words", ctx)?,
+                req_int(j, "replayed_rounds", ctx)?,
+            )
+        };
         Ok(ModelCosts {
             phases: req_int(j, "phases", ctx)?,
             mpc_rounds: req_int(j, "mpc_rounds", ctx)?,
@@ -330,6 +361,8 @@ impl ModelCosts {
             peak_round_words: req_int(j, "peak_round_words", ctx)?,
             peak_resident_words: req_int(j, "peak_resident_words", ctx)?,
             spill_words,
+            checkpoint_words,
+            replayed_rounds,
             violations: req_int(j, "violations", ctx)?,
         })
     }
@@ -581,6 +614,8 @@ pub fn synthetic_report() -> BenchReport {
                     peak_round_words: 700,
                     peak_resident_words: 3000,
                     spill_words: 0,
+                    checkpoint_words: 0,
+                    replayed_rounds: 0,
                     violations: 0,
                 },
                 quality: Quality {
@@ -624,6 +659,8 @@ pub fn synthetic_report() -> BenchReport {
                     peak_round_words: 800,
                     peak_resident_words: 3500,
                     spill_words: 256,
+                    checkpoint_words: 1024,
+                    replayed_rounds: 2,
                     violations: 0,
                 },
                 quality: Quality {
@@ -756,6 +793,36 @@ mod tests {
             .replace("        \"spill_words\": 256,\n", "");
         let err = BenchReport::from_json(&v4).unwrap_err();
         assert!(err.contains("spill_words"), "{err}");
+    }
+
+    #[test]
+    fn v5_report_without_checkpoint_fields_parses_for_the_diff_gate() {
+        // A pre-v6 report has neither checkpoint_words nor
+        // replayed_rounds; every such run was fault-free, so the 0
+        // defaults are faithful and the version mismatch stays
+        // bench-diff's finding.
+        let mut report = synthetic_report();
+        report.schema_version = 5;
+        let text = report
+            .to_json()
+            .replace("        \"checkpoint_words\": 0,\n", "")
+            .replace("        \"checkpoint_words\": 1024,\n", "")
+            .replace("        \"replayed_rounds\": 0,\n", "")
+            .replace("        \"replayed_rounds\": 2,\n", "");
+        assert!(!text.contains("checkpoint_words"));
+        assert!(!text.contains("replayed_rounds"));
+        let back = BenchReport::from_json(&text).expect("v5 parses");
+        assert!(back
+            .workloads
+            .iter()
+            .all(|w| w.model.checkpoint_words == 0 && w.model.replayed_rounds == 0));
+        // At the current schema both fields are required.
+        let v6 = synthetic_report()
+            .to_json()
+            .replace("        \"checkpoint_words\": 0,\n", "")
+            .replace("        \"checkpoint_words\": 1024,\n", "");
+        let err = BenchReport::from_json(&v6).unwrap_err();
+        assert!(err.contains("checkpoint_words"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,10 @@ fn kind_name(kind: EventKind) -> &'static str {
         EventKind::SpillWords => "spill_words",
         EventKind::SentWords => "sent_words",
         EventKind::StallWords => "stall_words",
+        EventKind::FaultInjected => "fault_injected",
+        EventKind::CheckpointWords => "checkpoint_words",
+        EventKind::ReplayRounds => "replay_rounds",
+        EventKind::RetryCount => "retry_count",
     }
 }
 
@@ -35,6 +39,10 @@ fn parse_kind(name: &str) -> Option<EventKind> {
         "spill_words" => EventKind::SpillWords,
         "sent_words" => EventKind::SentWords,
         "stall_words" => EventKind::StallWords,
+        "fault_injected" => EventKind::FaultInjected,
+        "checkpoint_words" => EventKind::CheckpointWords,
+        "replay_rounds" => EventKind::ReplayRounds,
+        "retry_count" => EventKind::RetryCount,
         _ => return None,
     })
 }

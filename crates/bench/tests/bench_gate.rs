@@ -94,6 +94,24 @@ fn golden_file_field_order_matches_schema_lists() {
     assert!(last < wall_at && wall_at < round_wall_at);
 }
 
+/// The committed baselines are canonical v6 documents: they parse
+/// through the strict reader and re-render to the identical bytes, so a
+/// hand-migrated baseline can never drift from what `experiments bench`
+/// itself would write (modulo wall-clock values).
+#[test]
+fn committed_baselines_are_canonical_current_schema() {
+    use mwvc_bench::schema::SCHEMA_VERSION;
+    for name in ["baseline.json", "baseline-full.json"] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../benchmarks")
+            .join(name);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = BenchReport::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.schema_version, SCHEMA_VERSION, "{name} is stale");
+        assert_eq!(report.to_json(), text, "{name} is not canonical");
+    }
+}
+
 fn temp_file(name: &str, contents: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("bench-gate-{}-{name}", std::process::id()));
     std::fs::write(&path, contents).expect("write temp report");

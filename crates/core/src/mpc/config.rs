@@ -164,6 +164,12 @@ pub struct MpcMwvcConfig {
     /// on model costs, covers, or certificates — only on how the host
     /// overlaps placement and compute.
     pub scheduler: RoundScheduler,
+    /// Deterministic fault-injection plan for the simulator cluster
+    /// (inactive by default). Covers and certificates are bit-identical
+    /// under every recoverable plan; unrecoverable plans surface as
+    /// typed errors through [`run_distributed`](super::run_distributed)'s
+    /// `try_` form.
+    pub faults: mpc_sim::FaultConfig,
 }
 
 impl MpcMwvcConfig {
@@ -186,6 +192,7 @@ impl MpcMwvcConfig {
             switch: PhaseSwitch::PaperLog30,
             max_phases: 1000,
             scheduler: RoundScheduler::Barrier,
+            faults: mpc_sim::FaultConfig::none(),
         }
     }
 
@@ -214,6 +221,7 @@ impl MpcMwvcConfig {
             switch: PhaseSwitch::AvgDegree(2.0),
             max_phases: 300,
             scheduler: RoundScheduler::Barrier,
+            faults: mpc_sim::FaultConfig::none(),
         }
     }
 
@@ -240,6 +248,7 @@ impl MpcMwvcConfig {
             switch: PhaseSwitch::AvgDegree(8.0),
             max_phases: 200,
             scheduler: RoundScheduler::Barrier,
+            faults: mpc_sim::FaultConfig::none(),
         }
     }
 
@@ -256,6 +265,13 @@ impl MpcMwvcConfig {
     /// Switches the simulator to the given host round scheduler.
     pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan for the simulator
+    /// cluster (see [`mpc_sim::FaultConfig`]).
+    pub fn with_faults(mut self, faults: mpc_sim::FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -232,7 +232,7 @@ struct OwnedVertex {
 const OWNED_BASE_WORDS: usize = 10;
 
 /// Coordinator-only state (machine 0).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CoordState {
     phase: u32,
     prev_active: Option<u64>,
@@ -255,7 +255,10 @@ impl CoordState {
     }
 }
 
-/// Full per-machine state.
+/// Full per-machine state. `Clone` is the snapshot operation of the
+/// crash-recovery engine ([`mpc_sim::checkpoint`]): checkpoints clone the
+/// state, and replay restores the clone.
+#[derive(Clone)]
 struct MachineState {
     n: usize,
     home_edges: Vec<HomeEdge>,
@@ -353,7 +356,9 @@ pub fn recommended_cluster(wg: &WeightedGraph, config: &MpcMwvcConfig) -> MpcCon
     let input_words = 3 * e + 2 * n;
     let m0 = config.machines_for(d0);
     let machines = (12 * input_words).div_ceil(s).max(m0).max(2);
-    MpcConfig::new(machines, s).with_scheduler(config.scheduler)
+    MpcConfig::new(machines, s)
+        .with_scheduler(config.scheduler)
+        .with_faults(config.faults)
 }
 
 /// Runs Algorithm 2 as message-passing dataflow on `cluster_cfg`.
@@ -361,11 +366,28 @@ pub fn recommended_cluster(wg: &WeightedGraph, config: &MpcMwvcConfig) -> MpcCon
 /// Panics (in strict enforcement) if any machine exceeds its memory or
 /// per-round traffic budget; use [`recommended_cluster`] for a sizing that
 /// stays within the model, or an audited config to measure violations.
+/// Also panics on an unrecoverable injected fault — fault-tolerant callers
+/// should use [`try_run_distributed`] instead.
 pub fn run_distributed(
     wg: &WeightedGraph,
     config: &MpcMwvcConfig,
     cluster_cfg: MpcConfig,
 ) -> DistributedOutcome {
+    try_run_distributed(wg, config, cluster_cfg)
+        .unwrap_or_else(|e| panic!("unrecoverable cluster fault: {e}"))
+}
+
+/// Fault-tolerant form of [`run_distributed`]: identical execution, but
+/// unrecoverable injected faults (spill retry budgets exhausted, replay
+/// budgets exhausted, checkpoint I/O failures) surface as a typed
+/// [`mpc_sim::ClusterError`] instead of panicking. Under any *handled*
+/// fault plan the outcome's gated fields (cover, certificate, model
+/// costs) are bit-identical to the fault-free run.
+pub fn try_run_distributed(
+    wg: &WeightedGraph,
+    config: &MpcMwvcConfig,
+    cluster_cfg: MpcConfig,
+) -> Result<DistributedOutcome, mpc_sim::ClusterError> {
     config.validate();
     let n = wg.num_vertices();
     let eidx = EdgeIndex::build(&wg.graph);
@@ -431,7 +453,7 @@ pub fn run_distributed(
     };
 
     // ── Startup: homes announce themselves to every endpoint's owner.
-    cluster.round("subscribe", move |ctx, st, _inbox| {
+    cluster.try_round("subscribe", move |ctx, st, _inbox| {
         let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for e in &st.home_edges {
             *counts.entry(e.u).or_default() += 1;
@@ -448,7 +470,7 @@ pub fn run_distributed(
                 },
             );
         }
-    });
+    })?;
 
     let cfg = *config;
     loop {
@@ -557,7 +579,7 @@ pub fn run_distributed(
                 ctx.broadcast(Msg::Plan(Box::new(PlanMsg { phase, kind })));
             },
         ));
-        cluster.run_segment(seg);
+        cluster.try_run_segment(seg)?;
 
         let decision = cluster
             .state(0)
@@ -567,9 +589,9 @@ pub fn run_distributed(
             .expect("coordinator always decides");
 
         match decision {
-            PlanKind::RunPhase { .. } => run_phase_rounds(&mut cluster, &cfg),
+            PlanKind::RunPhase { .. } => run_phase_rounds(&mut cluster, &cfg)?,
             PlanKind::Finish => {
-                run_final_rounds(&mut cluster, &cfg);
+                run_final_rounds(&mut cluster, &cfg)?;
                 break;
             }
         }
@@ -623,7 +645,7 @@ pub fn run_distributed(
             edge_x[geid as usize] = x;
         }
     }
-    DistributedOutcome {
+    Ok(DistributedOutcome {
         cover: VertexCover::from_membership(membership),
         certificate: DualCertificate::new(edge_x),
         phases,
@@ -633,11 +655,14 @@ pub fn run_distributed(
         trace,
         round_wall,
         host_phases,
-    }
+    })
 }
 
 /// The seven phase rounds after `plan`.
-fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfig) {
+fn run_phase_rounds(
+    cluster: &mut Cluster<MachineState, Msg>,
+    cfg: &MpcMwvcConfig,
+) -> Result<(), mpc_sim::ClusterError> {
     let cfg = *cfg;
     let mut seg: Vec<SegmentRound<MachineState, Msg>> = Vec::new();
 
@@ -1008,11 +1033,14 @@ fn run_phase_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         },
     ));
 
-    cluster.run_segment(seg);
+    cluster.try_run_segment(seg)
 }
 
 /// The three closing rounds after a `Finish` plan.
-fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfig) {
+fn run_final_rounds(
+    cluster: &mut Cluster<MachineState, Msg>,
+    cfg: &MpcMwvcConfig,
+) -> Result<(), mpc_sim::ClusterError> {
     let cfg = *cfg;
     let mut seg: Vec<SegmentRound<MachineState, Msg>> = Vec::new();
 
@@ -1142,7 +1170,7 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &MpcMwvcConfi
         },
     ));
 
-    cluster.run_segment(seg);
+    cluster.try_run_segment(seg)
 }
 
 #[cfg(test)]

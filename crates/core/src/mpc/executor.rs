@@ -42,7 +42,7 @@
 use crate::certificate::DualCertificate;
 use crate::cover::VertexCover;
 use crate::mpc::config::MpcMwvcConfig;
-use crate::mpc::distributed::{recommended_cluster, run_distributed};
+use crate::mpc::distributed::{recommended_cluster, run_distributed, try_run_distributed};
 use crate::mpc::reference::run_reference;
 use crate::mpc::stats::CostReport;
 use mwvc_graph::{EdgeIndex, WeightedGraph};
@@ -145,6 +145,16 @@ pub trait Executor {
     /// Solves `wg` end to end. Must be deterministic in the executor's
     /// configuration (instance, seed) and independent of host threading.
     fn run(&self, wg: &WeightedGraph) -> ExecutorOutcome;
+
+    /// Fault-tolerant form of [`Executor::run`]: unrecoverable injected
+    /// faults surface as a typed [`mpc_sim::ClusterError`] instead of a
+    /// panic. Executors that run on no audited cluster (and therefore
+    /// see no injected faults) inherit this default, which never errs.
+    /// Under any *handled* fault plan the outcome's gated fields must be
+    /// bit-identical to the fault-free run.
+    fn try_run(&self, wg: &WeightedGraph) -> Result<ExecutorOutcome, mpc_sim::ClusterError> {
+        Ok(self.run(wg))
+    }
 }
 
 /// Algorithm 2 as audited message-passing dataflow
@@ -171,7 +181,22 @@ impl Executor for DistributedExecutor {
     fn run(&self, wg: &WeightedGraph) -> ExecutorOutcome {
         let cluster = recommended_cluster(wg, &self.config);
         let outcome = run_distributed(wg, &self.config, cluster);
-        let cost = outcome.cost_report(&cluster);
+        Self::package(outcome, &cluster)
+    }
+
+    fn try_run(&self, wg: &WeightedGraph) -> Result<ExecutorOutcome, mpc_sim::ClusterError> {
+        let cluster = recommended_cluster(wg, &self.config);
+        let outcome = try_run_distributed(wg, &self.config, cluster)?;
+        Ok(Self::package(outcome, &cluster))
+    }
+}
+
+impl DistributedExecutor {
+    fn package(
+        outcome: crate::mpc::distributed::DistributedOutcome,
+        cluster: &mpc_sim::MpcConfig,
+    ) -> ExecutorOutcome {
+        let cost = outcome.cost_report(cluster);
         ExecutorOutcome {
             solution: CoverCertificate::new(outcome.cover, outcome.certificate),
             cost,

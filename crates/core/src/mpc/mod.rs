@@ -30,7 +30,9 @@ pub mod stats;
 
 pub use config::{BiasParams, IterationSchedule, MpcMwvcConfig, PhaseSwitch};
 pub use coupling::{run_coupled, CouplingReport, IterationDeviation};
-pub use distributed::{recommended_cluster, run_distributed, DistributedOutcome};
+pub use distributed::{
+    recommended_cluster, run_distributed, try_run_distributed, DistributedOutcome,
+};
 pub use executor::{
     CoverCertificate, DistributedExecutor, Executor, ExecutorOutcome, ReferenceExecutor,
 };

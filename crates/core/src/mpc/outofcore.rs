@@ -324,7 +324,10 @@ impl OocState {
                 loop {
                     let cap = batch.capacity();
                     batch.resize(cap, 0);
-                    let got = ctx.spill().read_words(batch);
+                    // An I/O failure latches inside the spill file and
+                    // surfaces as a typed error after the round; here it
+                    // just ends the replay.
+                    let got = ctx.spill().read_words(batch).unwrap_or(0);
                     if got == 0 {
                         break;
                     }
@@ -561,13 +564,15 @@ pub fn run_outofcore(
             while let Some(bucket) = stream.next_bucket().expect("read shard bucket") {
                 for &(u, v) in bucket {
                     if state.batch.len() == batch_words {
-                        ctx.spill().write_words(&state.batch);
+                        // Failures latch in the spill file and surface
+                        // as a typed error after the segment.
+                        let _ = ctx.spill().write_words(&state.batch);
                         state.batch.clear();
                     }
                     state.batch.push(pack_half_edge(u, v));
                 }
             }
-            ctx.spill().write_words(&state.batch);
+            let _ = ctx.spill().write_words(&state.batch);
             state.batch.clear();
             state.shard = Shard::Spilled;
         }
@@ -584,7 +589,7 @@ pub fn run_outofcore(
                 loop {
                     let cap = batch.capacity();
                     batch.resize(cap, 0);
-                    let got = ctx.spill().read_words(batch);
+                    let got = ctx.spill().read_words(batch).unwrap_or(0);
                     if got == 0 {
                         break;
                     }
@@ -653,6 +658,13 @@ pub fn run_outofcore(
             }
             state.coord = Some(coord);
         });
+    }
+
+    // A spill I/O failure anywhere above latched in the machine's spill
+    // file rather than panicking mid-round; surface the first one as this
+    // executor's error type.
+    if let Some(e) = cl.take_spill_error() {
+        return Err(format!("spill I/O failure: {e}"));
     }
 
     let (mut states, trace) = cl.finish();

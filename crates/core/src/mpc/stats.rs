@@ -91,6 +91,13 @@ pub struct TrafficCosts {
     /// (nonzero only under [`mpc_sim::MemoryBudget::Enforced`] when a
     /// machine's working set actually overflowed its budget).
     pub spill_words: u64,
+    /// Total words written to round-granular recovery checkpoints
+    /// (nonzero only when fault injection is active; checkpoints are
+    /// charged separately from model spill so fault-free runs are
+    /// bit-identical to faulty-but-recovered ones).
+    pub checkpoint_words: u64,
+    /// Rounds re-executed from a checkpoint after injected crash faults.
+    pub replayed_rounds: u64,
 }
 
 /// The structured model-cost report of an Algorithm 2 execution: every
@@ -127,6 +134,8 @@ impl CostReport {
                 peak_resident_words: s.peak_resident_words,
                 violations: s.violations,
                 spill_words: s.spill_words,
+                checkpoint_words: s.checkpoint_words,
+                replayed_rounds: s.replayed_rounds,
             }),
         }
     }
@@ -222,6 +231,7 @@ mod tests {
             violations: vec![],
             critical_path: Default::default(),
             events: vec![],
+            faults: Default::default(),
         };
         let cluster = MpcConfig::new(4, 1024);
         let report = CostReport::from_trace(3, &trace, &cluster);
@@ -235,6 +245,8 @@ mod tests {
         assert_eq!(t.peak_resident_words, 40);
         assert_eq!(t.violations, 0);
         assert_eq!(t.spill_words, 5);
+        assert_eq!(t.checkpoint_words, 0);
+        assert_eq!(t.replayed_rounds, 0);
     }
 
     #[test]

@@ -502,6 +502,11 @@ pub struct StreamingGraphBuilder {
     tag: String,
     half_edges_pushed: u64,
     byte_budget: usize,
+    /// First run-flush failure, latched: `add_edge` is infallible by
+    /// signature ([`EdgeSink`]), so a failed flush parks its error here
+    /// and [`finish`](Self::finish) surfaces it as a typed `Err` instead
+    /// of panicking mid-stream.
+    deferred_error: Option<String>,
 }
 
 impl StreamingGraphBuilder {
@@ -529,6 +534,7 @@ impl StreamingGraphBuilder {
             tag,
             half_edges_pushed: 0,
             byte_budget,
+            deferred_error: None,
         }
     }
 
@@ -553,7 +559,12 @@ impl StreamingGraphBuilder {
             self.n
         );
         if self.buf.len() + 2 > self.cap {
-            self.flush_run().expect("flush sorted run");
+            if let Err(e) = self.flush_run() {
+                // Keep the memory bound even while broken: drop the
+                // buffered half-edges (finish errors out anyway).
+                self.buf.clear();
+                self.deferred_error.get_or_insert(e);
+            }
         }
         self.buf.push(pack_half_edge(u, v));
         self.buf.push(pack_half_edge(v, u));
@@ -602,6 +613,9 @@ impl StreamingGraphBuilder {
         out_path: &Path,
         bucket_entries: u32,
     ) -> Result<ChunkedCsr, String> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(format!("add_edge run flush failed earlier: {e}"));
+        }
         let mut writer = ChunkedCsrWriter::create(out_path, self.n as u64, bucket_entries)?;
         if self.runs.is_empty() {
             // Single-run fast path: everything fit in the budget.
@@ -814,6 +828,20 @@ mod tests {
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_edges(), 0);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn failed_run_flush_is_deferred_to_finish_as_a_typed_error() {
+        // An unwritable scratch directory makes every run flush fail;
+        // add_edge must keep going (latching the first error) and finish
+        // must surface it as a clean Err, never a panic.
+        let bad_dir = tmp("no-such-scratch-dir");
+        let mut b = StreamingGraphBuilder::new(64, 1, Some(&bad_dir));
+        for i in 0..4_000u32 {
+            b.add_edge(i % 64, (i + 1) % 64);
+        }
+        let err = b.finish(&tmp("deferred.ocsr")).unwrap_err();
+        assert!(err.contains("add_edge run flush failed earlier"), "{err}");
     }
 
     #[test]

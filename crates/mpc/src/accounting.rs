@@ -116,6 +116,30 @@ impl CriticalPath {
     }
 }
 
+/// Totals of the deterministic fault-injection and recovery machinery
+/// over one execution (see [`crate::faults`]). All zero on a fault-free
+/// run, so pre-fault traces and summaries are unchanged. Deterministic
+/// like everything else in the trace: the fault plan is a pure function
+/// of its seed, so these totals are bit-identical across hosts, pool
+/// widths, and schedulers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected (crashes + dropped/duplicated deliveries +
+    /// stragglers; spill I/O faults count through `retries`).
+    pub injected: u64,
+    /// Words written to per-machine recovery checkpoints. Accounted like
+    /// `spill_words` but kept separate so fault-free round stats stay
+    /// bit-identical under injection.
+    pub checkpoint_words: u64,
+    /// Rounds replayed from checkpoints after crash-restarts.
+    pub replayed_rounds: u64,
+    /// Spill I/O attempts retried under injected transient faults.
+    pub retries: u64,
+    /// Segments that degraded from the pipelined to the barrier engine
+    /// because a crash poisoned a readiness region.
+    pub degraded_segments: u64,
+}
+
 /// The full execution record of a cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionTrace {
@@ -131,6 +155,9 @@ pub struct ExecutionTrace {
     /// host pool widths and both round schedulers — the determinism suite
     /// pins it.
     pub events: Vec<TraceEvent>,
+    /// Fault-injection and recovery totals (all zero on a fault-free
+    /// run).
+    pub faults: FaultStats,
 }
 
 /// A flat, serializable snapshot of everything the MPC model charges a
@@ -154,6 +181,12 @@ pub struct TraceSummary {
     /// Total words written to per-machine spill files over the whole
     /// execution (see [`RoundStats::spill_words`]).
     pub spill_words: u64,
+    /// Words written to recovery checkpoints (zero without fault
+    /// injection; see [`FaultStats::checkpoint_words`]).
+    pub checkpoint_words: u64,
+    /// Rounds replayed from checkpoints after crashes (zero without
+    /// fault injection; see [`FaultStats::replayed_rounds`]).
+    pub replayed_rounds: u64,
 }
 
 impl ExecutionTrace {
@@ -172,6 +205,8 @@ impl ExecutionTrace {
             peak_resident_words: self.peak_resident(),
             violations: self.violations.len(),
             spill_words: self.total_spill(),
+            checkpoint_words: self.faults.checkpoint_words,
+            replayed_rounds: self.faults.replayed_rounds,
         }
     }
 
@@ -245,6 +280,11 @@ impl ExecutionTrace {
         self.critical_path.barrier_makespan += other.critical_path.barrier_makespan;
         self.critical_path.pipelined_makespan += other.critical_path.pipelined_makespan;
         self.critical_path.barrier_stall += other.critical_path.barrier_stall;
+        self.faults.injected += other.faults.injected;
+        self.faults.checkpoint_words += other.faults.checkpoint_words;
+        self.faults.replayed_rounds += other.faults.replayed_rounds;
+        self.faults.retries += other.faults.retries;
+        self.faults.degraded_segments += other.faults.degraded_segments;
     }
 }
 
@@ -270,6 +310,7 @@ mod tests {
             violations: vec![],
             critical_path: CriticalPath::default(),
             events: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(t.num_rounds(), 2);
         assert_eq!(t.peak_resident(), 100);
@@ -285,6 +326,8 @@ mod tests {
                 peak_resident_words: 100,
                 violations: 0,
                 spill_words: 0,
+                checkpoint_words: 0,
+                replayed_rounds: 0,
             }
         );
     }
@@ -302,6 +345,7 @@ mod tests {
             }],
             critical_path: CriticalPath::default(),
             events: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(t.summary().violations, 1);
         assert_eq!(t.summary().rounds, 1);
@@ -318,6 +362,7 @@ mod tests {
             violations: vec![],
             critical_path: CriticalPath::default(),
             events: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(t.total_spill(), 142);
         assert_eq!(t.summary().spill_words, 142);
@@ -352,6 +397,7 @@ mod tests {
                 machine_rounds: vec![vec![mr(0, 7, 0), mr(0, 4, 3)]],
             },
             events: vec![],
+            faults: FaultStats::default(),
         };
         let b = ExecutionTrace {
             rounds: vec![stats("b", 2, 2, 2, 2)],
@@ -369,6 +415,7 @@ mod tests {
                 machine_rounds: vec![vec![mr(0, 4, 0), mr(0, 4, 0)]],
             },
             events: vec![],
+            faults: FaultStats::default(),
         };
         a.absorb(b);
         assert_eq!(a.num_rounds(), 2);
@@ -396,6 +443,7 @@ mod tests {
                 kind: EventKind::SentWords,
                 value: 5,
             }],
+            faults: FaultStats::default(),
         };
         let b = ExecutionTrace {
             rounds: vec![stats("b", 2, 2, 2, 2)],
@@ -412,6 +460,7 @@ mod tests {
                 kind: EventKind::SpillWords,
                 value: 2,
             }],
+            faults: FaultStats::default(),
         };
         a.absorb(b);
         // Both sides' breakdowns survive; the absorbed rows start after

@@ -249,6 +249,9 @@ pub struct Cluster<S, M> {
     /// Always-on metrics: the deterministic model plane and the
     /// informational host plane.
     pub(crate) metrics: MetricsRegistry,
+    /// Recovery checkpoint store, created lazily by the first
+    /// recoverable segment (see [`crate::checkpoint`]).
+    pub(crate) ckpt: Option<crate::checkpoint::CheckpointStore>,
 }
 
 impl<S, M> Cluster<S, M>
@@ -262,6 +265,13 @@ where
         let m = config.num_machines;
         let states: Vec<S> = (0..m).map(&mut init).collect();
         let outboxes = (0..m).map(|_| Outbox::new()).collect();
+        let mut spills: Vec<SpillFile> = (0..m).map(|_| SpillFile::new()).collect();
+        if config.faults.spill_io_rate > 0.0 {
+            let plan = crate::faults::FaultPlan::new(config.faults);
+            for (i, spill) in spills.iter_mut().enumerate() {
+                spill.arm_faults(plan, i);
+            }
+        }
         Self {
             config,
             states,
@@ -269,13 +279,14 @@ where
             inboxes: FlatInboxes::new(m),
             scratch: RouteScratch::new(),
             state_words: vec![0; m],
-            spills: (0..m).map(|_| SpillFile::new()).collect(),
+            spills,
             trace: ExecutionTrace::default(),
             board: ReadinessBoard::new(m),
             cp: CpTracker::new(m),
             round_wall: Vec::new(),
             host_phases: Vec::new(),
             metrics: MetricsRegistry::default(),
+            ckpt: None,
         }
     }
 
@@ -437,12 +448,21 @@ where
         // phase (informational plane).
         let mut spill_words = 0u64;
         let mut spill_s = 0f64;
+        let mut retries = 0u64;
         for (spill, ring) in self.spills.iter_mut().zip(&mut self.scratch.rings) {
             let w = spill.take_round_words();
             ring.record(EventKind::SpillWords, w);
             spill_words += w;
             spill_s += spill.take_round_secs();
+            // Injected-fault retries (zero without injection, so the
+            // fault-free event stream is unchanged).
+            let r = spill.take_round_retries();
+            if r > 0 {
+                ring.record(EventKind::RetryCount, r);
+                retries += r;
+            }
         }
+        self.trace.faults.retries += retries;
         let total_traffic = self.scratch.sent_words.iter().sum();
         self.trace.rounds.push(RoundStats {
             label: label.to_string(),
@@ -653,7 +673,7 @@ mod tests {
         let mut c = cluster(2, 100);
         c.round("spill", |ctx, _state, _| {
             if ctx.id == 1 {
-                ctx.spill().write_words(&[1, 2, 3]);
+                ctx.spill().write_words(&[1, 2, 3]).unwrap();
             }
         });
         c.round("quiet", |_ctx, _state, _| {});
@@ -667,14 +687,14 @@ mod tests {
         let mut c = cluster(2, 100);
         c.round("write", |ctx, _state, _| {
             if ctx.id == 0 {
-                ctx.spill().write_words(&[10, 20]);
+                ctx.spill().write_words(&[10, 20]).unwrap();
             }
         });
         c.round("read back", |ctx, state, _| {
             if ctx.id == 0 {
                 let mut buf = [0u64; 4];
                 ctx.spill().rewind();
-                assert_eq!(ctx.spill().read_words(&mut buf), 2);
+                assert_eq!(ctx.spill().read_words(&mut buf).unwrap(), 2);
                 state.0.extend_from_slice(&buf[..2]);
             }
         });

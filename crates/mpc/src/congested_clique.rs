@@ -68,6 +68,7 @@ mod tests {
             violations: vec![],
             critical_path: Default::default(),
             events: vec![],
+            faults: Default::default(),
         }
     }
 
@@ -101,6 +102,7 @@ mod tests {
             violations: vec![],
             critical_path: Default::default(),
             events: vec![],
+            faults: Default::default(),
         };
         assert_eq!(simulate_on_clique(&t, 100).rounds, 5);
     }

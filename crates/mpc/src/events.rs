@@ -34,6 +34,16 @@ pub enum EventKind {
     /// for the straggler (`round_max - cost`, in model cost units) — the
     /// readiness wait the pipelined scheduler exists to overlap.
     StallWords,
+    /// Faults the deterministic plan injected against this machine this
+    /// round (crashes, dropped/duplicated deliveries, stragglers).
+    FaultInjected,
+    /// Words written to this machine's recovery checkpoint this round.
+    CheckpointWords,
+    /// Rounds this machine replayed from its checkpoint after a crash.
+    ReplayRounds,
+    /// Spill I/O attempts this machine retried under injected transient
+    /// faults this round.
+    RetryCount,
 }
 
 /// One deterministic instrumentation event: machine `machine` measured
@@ -50,13 +60,21 @@ pub struct TraceEvent {
     pub value: u64,
 }
 
-/// Ring capacity: the fabric records at most
-/// [`EVENTS_PER_ROUND`] events per machine per round and the harness
-/// drains every round, so 8 slots never overflow in normal operation.
-pub const RING_CAPACITY: usize = 8;
+/// Ring capacity: the fabric records at most [`EVENTS_PER_ROUND`] plus
+/// [`FAULT_EVENTS_PER_ROUND`] events per machine per round and the
+/// harness drains every round, so 12 slots never overflow in normal
+/// operation.
+pub const RING_CAPACITY: usize = 12;
 
-/// Events the fabric records per machine in one harnessed round.
+/// Events the fabric records per machine in one fault-free harnessed
+/// round.
 pub const EVENTS_PER_ROUND: usize = 5;
+
+/// Additional events the recovery layer can record per machine per round
+/// under fault injection (`FaultInjected`, `CheckpointWords`,
+/// `ReplayRounds`, `RetryCount`). Recorded only when nonzero, so
+/// fault-free event streams are unchanged.
+pub const FAULT_EVENTS_PER_ROUND: usize = 4;
 
 /// A fixed-capacity, heap-free event buffer for one machine. `record`
 /// never allocates: once full, further events are counted in `dropped`
@@ -185,6 +203,6 @@ mod tests {
 
     #[test]
     fn capacity_covers_a_full_harnessed_round() {
-        const { assert!(EVENTS_PER_ROUND <= RING_CAPACITY) }
+        const { assert!(EVENTS_PER_ROUND + FAULT_EVENTS_PER_ROUND <= RING_CAPACITY) }
     }
 }

@@ -36,9 +36,11 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod accounting;
+pub mod checkpoint;
 pub mod cluster;
 pub mod congested_clique;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
@@ -50,10 +52,13 @@ pub(crate) mod sync;
 pub mod words;
 
 pub use accounting::{
-    CriticalPath, ExecutionTrace, MachineRound, RoundStats, TraceSummary, Violation, ViolationKind,
+    CriticalPath, ExecutionTrace, FaultStats, MachineRound, RoundStats, TraceSummary, Violation,
+    ViolationKind,
 };
+pub use checkpoint::CheckpointStore;
 pub use cluster::{Cluster, Inbox, MachineCtx};
 pub use events::{EventKind, EventRing, TraceEvent};
+pub use faults::{chaos_mutation, ClusterError, FaultConfig, FaultKind, FaultPlan};
 pub use metrics::{HostMetrics, HostPhase, MetricsRegistry, ModelMetrics};
 pub use model::{Enforcement, MemoryBudget, MemoryRegime, MpcConfig, RoundScheduler};
 pub use pipeline::{ReadinessBoard, SegmentRound};

@@ -141,6 +141,10 @@ pub struct MpcConfig {
     /// Whether the resident cap is merely accounted or hard-enforced
     /// (spill-or-die).
     pub budget: MemoryBudget,
+    /// Deterministic fault-injection plan (inactive by default). Active
+    /// plans require the cluster's `try_` entry points to surface
+    /// unrecoverable faults as typed errors.
+    pub faults: crate::faults::FaultConfig,
 }
 
 impl MpcConfig {
@@ -154,6 +158,7 @@ impl MpcConfig {
             enforcement: Enforcement::Strict,
             scheduler: RoundScheduler::Barrier,
             budget: MemoryBudget::AccountOnly,
+            faults: crate::faults::FaultConfig::none(),
         }
     }
 
@@ -188,6 +193,13 @@ impl MpcConfig {
     /// Selects the memory-budget policy (see [`MemoryBudget`]).
     pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (see
+    /// [`crate::faults::FaultConfig`]).
+    pub fn with_faults(mut self, faults: crate::faults::FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -99,6 +99,32 @@ fn ready_order() -> Ordering {
     Ordering::AcqRel
 }
 
+/// Memory ordering of the crash-poison store: `Release` pairs with the
+/// `Acquire` in [`ReadinessBoard::is_poisoned`] so a completing worker
+/// that observes the flag also observes everything the recovery engine
+/// wrote before poisoning (the crash record it must replay from). The
+/// `weaken-poison-ordering` seeded mutation (loom builds only) drops
+/// both sides to relaxed, which the model checker must catch as a data
+/// race on that handoff.
+#[inline]
+fn poison_store_order() -> Ordering {
+    #[cfg(loom)]
+    if crate::sync::mutation("weaken-poison-ordering") {
+        return Ordering::Relaxed;
+    }
+    Ordering::Release
+}
+
+/// Load side of the crash-poison handoff; see [`poison_store_order`].
+#[inline]
+fn poison_load_order() -> Ordering {
+    #[cfg(loom)]
+    if crate::sync::mutation("weaken-poison-ordering") {
+        return Ordering::Relaxed;
+    }
+    Ordering::Acquire
+}
+
 /// Whether the `early-ready` seeded mutation is active (loom builds
 /// only): the sender token is never armed and never released, so a region
 /// turns ready as soon as its messages land — before its own outbox is
@@ -120,6 +146,12 @@ pub struct ReadinessBoard {
     /// Undelivered units per region: expected messages plus the sender
     /// token.
     remaining: Vec<AtomicUsize>,
+    /// Crash-poison flags (nonzero = poisoned): set by the recovery
+    /// engine before a degraded segment runs, so a completed region is
+    /// never handed to an inline compute whose machine state is about to
+    /// be rolled back. `usize` rather than `bool` because the loom shims
+    /// only cover the `AtomicUsize` surface the facade pins.
+    poisoned: Vec<AtomicUsize>,
 }
 
 impl ReadinessBoard {
@@ -127,6 +159,7 @@ impl ReadinessBoard {
     pub fn new(m: usize) -> Self {
         Self {
             remaining: (0..m).map(|_| AtomicUsize::new(0)).collect(),
+            poisoned: (0..m).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
@@ -166,6 +199,28 @@ impl ReadinessBoard {
             return false;
         }
         self.remaining[sender].fetch_sub(1, ready_order()) == 1
+    }
+
+    /// Marks `region` crash-poisoned: whichever worker completes the
+    /// region must not run its inline compute (the recovery engine will
+    /// replay the machine instead). Release pairs with the `Acquire` in
+    /// [`Self::is_poisoned`] so the completing worker observes the flag.
+    #[inline]
+    pub fn poison(&self, region: usize) {
+        self.poisoned[region].store(1, poison_store_order());
+    }
+
+    /// Whether `region` is crash-poisoned.
+    #[inline]
+    pub fn is_poisoned(&self, region: usize) -> bool {
+        self.poisoned[region].load(poison_load_order()) != 0
+    }
+
+    /// Clears every poison flag (end of a degraded segment).
+    pub fn clear_poison(&mut self) {
+        for slot in &self.poisoned {
+            slot.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -307,6 +362,16 @@ impl<'seg, S, M> SegmentRound<'seg, S, M> {
     /// The round's trace label.
     pub fn label(&self) -> &str {
         self.label
+    }
+
+    /// Borrowed view of the round body, for engines (the recovery
+    /// engine's replay path) that run a segment's rounds by reference.
+    pub(crate) fn body(&self) -> &crate::cluster::RoundFn<'seg, S, M>
+    where
+        S: 'seg,
+        M: 'seg,
+    {
+        &self.body
     }
 }
 
@@ -457,7 +522,7 @@ where
                 // shared borrow is exclusive of writers.
                 let outbox = unsafe { &*outboxes.at(from) };
                 let on_run = |to: usize, len: usize| {
-                    if board.deliver(to, len) {
+                    if board.deliver(to, len) && !board.is_poisoned(to) {
                         run_compute(to);
                     }
                 };
@@ -471,7 +536,7 @@ where
             // `place_sender` above; the token is still armed, so no
             // compute aliases the arena during the drain.
             unsafe { (*outboxes.at(from)).forget_moved() };
-            if board.finish_sender(from) {
+            if board.finish_sender(from) && !board.is_poisoned(from) {
                 run_compute(from);
             }
         });
@@ -569,6 +634,22 @@ mod tests {
         // A sender delivering all its own messages still holds its token.
         assert!(!board.deliver(0, 3));
         assert!(board.finish_sender(0));
+    }
+
+    #[test]
+    fn board_poison_is_per_region_and_clearable() {
+        let mut board = ReadinessBoard::new(3);
+        assert!(!board.is_poisoned(0));
+        board.poison(1);
+        assert!(!board.is_poisoned(0));
+        assert!(board.is_poisoned(1));
+        assert!(!board.is_poisoned(2));
+        // Poison does not interfere with the completion protocol itself.
+        board.reset(&[1, 1, 0]);
+        assert!(!board.deliver(1, 1));
+        assert!(board.finish_sender(1));
+        board.clear_poison();
+        assert!(!board.is_poisoned(1));
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Model-checked interleavings of the crash/replay handoff on the
+//! [`mpc_sim::ReadinessBoard`] — the fault-injection companion to
+//! `loom_pipeline.rs`, compiled and run only under
+//! `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p mpc-sim --test loom_faults
+//! ```
+//!
+//! When a crash fault fires inside a pipelined segment, the recovery
+//! engine writes the crash record it will replay from, then poisons the
+//! crashing machine's readiness region
+//! ([`ReadinessBoard::poison`]). Whichever worker later completes that
+//! region must either (a) observe the poison and take the replay path —
+//! in which case the `Release`/`Acquire` pair on the poison flag must
+//! order the recovery engine's crash-record write before the replay
+//! read — or (b) not observe it and run the inline compute, whose
+//! payload reads are ordered by the readiness decrements exactly as in
+//! the fault-free protocol. Loom's cell race detection proves both
+//! happens-before edges on the real board; plain `Vec` memory in the
+//! real cluster is invisible to loom, so the guarded regions are modeled
+//! as `loom::cell::UnsafeCell`s here, like in `loom_pipeline.rs`.
+//!
+//! The `mutation_*` tests prove the suite has teeth: with
+//! `LOOM_MUTATE=weaken-poison-ordering` (poison store/load dropped to
+//! `Relaxed`) the replay read of the crash record loses its
+//! happens-before edge, and with `LOOM_MUTATE=weaken-ready-ordering`
+//! (readiness decrements dropped to `Relaxed`) the non-poisoned inline
+//! compute loses its edge to the placements — either way the crash
+//! scenario must FAIL model checking as a data race, and the test
+//! asserts that failure. CI runs each mutation as a separate filtered
+//! invocation; the unmutated run executes the whole file.
+//!
+//! Schedule-count floor: `wide_crash_handoff_explores_widely` asserts
+//! at least 10,000 distinct schedules (measured ~45,600 at preemption
+//! bound 3), so the suite's coverage floor is enforced by the tests
+//! themselves.
+
+#![cfg(loom)]
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use mpc_sim::ReadinessBoard;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// One modeled faulted round: the armed board, the memory regions it
+/// guards, and the crash records the recovery engine hands to replay.
+struct FaultFabric {
+    m: usize,
+    board: ReadinessBoard,
+    /// Inbox region contents at `region * m + sender`: written by the
+    /// placing sender, read by the region's inline compute (only when
+    /// the region is not poisoned).
+    payloads: Vec<UnsafeCell<u64>>,
+    /// Outbox arenas: drained by the owner's placement, refilled by the
+    /// owner's inline compute.
+    outboxes: Vec<UnsafeCell<u64>>,
+    /// Crash records, one per region: written by the recovery engine
+    /// *before* it poisons the region, read by whichever worker observes
+    /// the poison on completion (the replay handoff under test).
+    crash_records: Vec<UnsafeCell<u64>>,
+    /// Inline computes run per region.
+    computed: Vec<AtomicUsize>,
+    /// Replay handoffs taken per region.
+    replayed: Vec<AtomicUsize>,
+}
+
+impl FaultFabric {
+    fn new(m: usize, region_lens: &[usize]) -> Arc<Self> {
+        let mut board = ReadinessBoard::new(m);
+        board.reset(region_lens);
+        Arc::new(FaultFabric {
+            m,
+            board,
+            payloads: (0..m * m).map(|_| UnsafeCell::new(0)).collect(),
+            outboxes: (0..m).map(|_| UnsafeCell::new(0)).collect(),
+            crash_records: (0..m).map(|_| UnsafeCell::new(0)).collect(),
+            computed: (0..m).map(|_| AtomicUsize::new(0)).collect(),
+            replayed: (0..m).map(|_| AtomicUsize::new(0)).collect(),
+        })
+    }
+
+    /// The recovery engine crashing machine `r`: record what replay will
+    /// restore from, then poison the region. The poison store must
+    /// publish the record write.
+    fn crash(&self, r: usize) {
+        // SAFETY: (modeled) only the poisoned completion path reads this
+        // cell, and only after observing the poison flag — the ordering
+        // loom checks here.
+        self.crash_records[r].with_mut(|p| unsafe { *p = 0xdead_0000 + r as u64 });
+        self.board.poison(r);
+    }
+
+    /// Region `i` completed: a poisoned region hands off to replay (and
+    /// must see the crash record), a clean one runs the inline compute
+    /// (and must see every placement plus its own drain).
+    fn complete(&self, i: usize) {
+        if self.board.is_poisoned(i) {
+            // SAFETY: (modeled) the Acquire poison load orders the
+            // recovery engine's record write before this read.
+            self.crash_records[i].with(|p| unsafe { *p });
+            self.replayed[i].fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        for src in 0..self.m {
+            // SAFETY: (modeled) the completing decrement orders every
+            // placement write before this read.
+            self.payloads[i * self.m + src].with(|p| unsafe { *p });
+        }
+        // SAFETY: (modeled) the sender token orders the owner's drain
+        // before this refill.
+        self.outboxes[i].with_mut(|p| unsafe { *p += 1 });
+        self.computed[i].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Sender `j`: place into each region in `dests`, drain the own
+    /// outbox, release the token; handle any completion the board hands
+    /// over (this is where the poison check happens in the real
+    /// scheduler's placement loop).
+    fn sender(&self, j: usize, dests: &[usize]) {
+        for &d in dests {
+            // SAFETY: (modeled) placement writes the region before the
+            // delivery decrement publishes it.
+            self.payloads[d * self.m + j].with_mut(|p| unsafe { *p = 10 + j as u64 });
+            if self.board.deliver(d, 1) {
+                self.complete(d);
+            }
+        }
+        // SAFETY: (modeled) the drain runs while the token is armed, so
+        // no compute aliases the arena yet.
+        self.outboxes[j].with_mut(|p| unsafe { *p += 1 });
+        if self.board.finish_sender(j) {
+            self.complete(j);
+        }
+    }
+
+    fn assert_each_region_handled_once(&self) {
+        for i in 0..self.m {
+            let c = self.computed[i].load(Ordering::SeqCst);
+            let r = self.replayed[i].load(Ordering::SeqCst);
+            assert_eq!(c + r, 1, "region {i}: {c} computes + {r} replays");
+        }
+    }
+}
+
+/// Runs a model expected to fail, swallowing the (intentional) panic
+/// noise, and returns the failure message.
+fn expect_failure(f: impl Fn() + Send + Sync + 'static) -> String {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| loom::model(f)));
+    panic::set_hook(prev);
+    let payload = result.expect_err("model unexpectedly passed every schedule");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+/// The fundamental crash handoff: two senders exchanging regions while
+/// the recovery engine crashes machine 0 concurrently. Whichever worker
+/// completes region 0 races the poison; both resolutions (inline
+/// compute vs replay) must be race-free, and the region is handled
+/// exactly once either way. This is the scenario both seeded mutations
+/// must break.
+fn crash_handoff() {
+    let fabric = FaultFabric::new(2, &[1, 1]);
+    let peer = Arc::clone(&fabric);
+    let engine = Arc::clone(&fabric);
+    let t = loom::thread::spawn(move || peer.sender(1, &[0]));
+    let c = loom::thread::spawn(move || engine.crash(0));
+    fabric.sender(0, &[1]);
+    t.join().expect("sender thread panicked");
+    c.join().expect("recovery thread panicked");
+    fabric.assert_each_region_handled_once();
+}
+
+#[test]
+fn crash_poison_handoff_is_race_free() {
+    let report = loom::Builder::new().check(crash_handoff);
+    eprintln!("crash_poison_handoff_is_race_free: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Poison set before the segment spawns (the production shape:
+/// `try_run_segment` poisons every crashing region, then runs the
+/// degraded segment): every interleaving must route region 0 to replay,
+/// never to the inline compute.
+#[test]
+fn pre_poisoned_region_always_degrades_to_replay() {
+    let report = loom::Builder::new().check(|| {
+        let fabric = FaultFabric::new(2, &[1, 1]);
+        fabric.crash(0);
+        let peer = Arc::clone(&fabric);
+        let t = loom::thread::spawn(move || peer.sender(1, &[0]));
+        fabric.sender(0, &[1]);
+        t.join().expect("sender thread panicked");
+        fabric.assert_each_region_handled_once();
+        assert_eq!(
+            fabric.replayed[0].load(Ordering::SeqCst),
+            1,
+            "a pre-poisoned region must be replayed"
+        );
+        assert_eq!(
+            fabric.computed[0].load(Ordering::SeqCst),
+            0,
+            "a pre-poisoned region must never run its inline compute"
+        );
+    });
+    eprintln!("pre_poisoned_region_always_degrades_to_replay: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// Both machines crash while both senders run: every completion races a
+/// poison, and both replay reads need their happens-before edge from
+/// their own crashing store.
+#[test]
+fn double_crash_both_regions_resolve_once() {
+    let report = loom::Builder::new().check(|| {
+        let fabric = FaultFabric::new(2, &[1, 1]);
+        let peer = Arc::clone(&fabric);
+        let engine = Arc::clone(&fabric);
+        let t = loom::thread::spawn(move || peer.sender(1, &[0]));
+        let c = loom::thread::spawn(move || {
+            engine.crash(0);
+            engine.crash(1);
+        });
+        fabric.sender(0, &[1]);
+        t.join().expect("sender thread panicked");
+        c.join().expect("recovery thread panicked");
+        fabric.assert_each_region_handled_once();
+    });
+    eprintln!("double_crash_both_regions_resolve_once: {report:?}");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+}
+
+/// The wide-exploration scenario: three senders all-to-all with a
+/// concurrent crash of machine 0 — every region's counter takes
+/// decrements from all three threads, region 0's completion additionally
+/// races the poison. Four threads make the schedule tree much denser
+/// than the pipeline suite's three, so the preemption bound stays at 3
+/// to finish under loom's iteration cap while still enforcing the
+/// suite's >= 10,000-distinct-schedules coverage floor.
+#[test]
+fn wide_crash_handoff_explores_widely() {
+    let mut builder = loom::Builder::new();
+    builder.preemption_bound = 3;
+    let report = builder.check(|| {
+        let fabric = FaultFabric::new(3, &[2, 2, 2]);
+        let f1 = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let engine = Arc::clone(&fabric);
+        let t1 = loom::thread::spawn(move || f1.sender(1, &[2, 0]));
+        let t2 = loom::thread::spawn(move || f2.sender(2, &[0, 1]));
+        let c = loom::thread::spawn(move || engine.crash(0));
+        fabric.sender(0, &[1, 2]);
+        t1.join().expect("sender 1 panicked");
+        t2.join().expect("sender 2 panicked");
+        c.join().expect("recovery thread panicked");
+        fabric.assert_each_region_handled_once();
+    });
+    eprintln!("wide_crash_handoff_explores_widely: {report:?}");
+    assert!(
+        !report.truncated,
+        "exploration truncated at the iteration cap"
+    );
+    assert!(
+        report.schedules >= 10_000,
+        "coverage floor regressed: explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// Seeded mutation "weaken-poison-ordering": the poison store/load drop
+/// to `Relaxed`, so a completion that observes the flag is no longer
+/// ordered after the recovery engine's crash-record write — the model
+/// must report a data race on the replay read. Without the mutation the
+/// same scenario must pass every schedule.
+#[test]
+fn mutation_weaken_poison_ordering_is_detected() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("weaken-poison-ordering") => {
+            let msg = expect_failure(crash_handoff);
+            assert!(msg.contains("data race"), "expected data race, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(crash_handoff);
+            eprintln!("mutation_weaken_poison_ordering_is_detected (unmutated): {report:?}");
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}
+
+/// Seeded mutation "weaken-ready-ordering": the readiness decrements
+/// drop to `Relaxed`, so in the schedule where region 0 completes
+/// cleanly (poison not yet observed) via a thread other than its placer,
+/// the inline compute's payload read loses its edge to the placement —
+/// the model must report a data race. Without the mutation the same
+/// scenario must pass every schedule.
+#[test]
+fn mutation_weaken_ready_ordering_is_detected_in_crash_handoff() {
+    match std::env::var("LOOM_MUTATE").as_deref() {
+        Ok("weaken-ready-ordering") => {
+            let msg = expect_failure(crash_handoff);
+            assert!(msg.contains("data race"), "expected data race, got: {msg}");
+        }
+        Ok(_) => {} // some other mutation is active; not this test's run
+        Err(_) => {
+            let report = loom::Builder::new().check(crash_handoff);
+            eprintln!(
+                "mutation_weaken_ready_ordering_is_detected_in_crash_handoff (unmutated): {report:?}"
+            );
+            assert!(report.schedules >= 2, "explored {}", report.schedules);
+        }
+    }
+}

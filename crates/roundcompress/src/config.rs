@@ -84,6 +84,10 @@ pub struct RoundCompressConfig {
     /// on model costs, covers, or certificates — only on how the host
     /// overlaps placement and compute.
     pub scheduler: RoundScheduler,
+    /// Deterministic fault-injection plan for the simulator cluster
+    /// ([`mpc_sim::FaultConfig::none`] by default). Under any handled
+    /// plan the gated outputs are bit-identical to the fault-free run.
+    pub faults: mpc_sim::FaultConfig,
 }
 
 impl RoundCompressConfig {
@@ -100,6 +104,7 @@ impl RoundCompressConfig {
             budget: BudgetRule::EdgesPerVertex(2.0),
             max_levels: 100,
             scheduler: RoundScheduler::Barrier,
+            faults: mpc_sim::FaultConfig::none(),
         }
     }
 
@@ -115,6 +120,12 @@ impl RoundCompressConfig {
     /// Switches the simulator to the given host round scheduler.
     pub fn with_scheduler(mut self, scheduler: RoundScheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Arms the given fault-injection plan on the simulator cluster.
+    pub fn with_faults(mut self, faults: mpc_sim::FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

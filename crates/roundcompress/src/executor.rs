@@ -149,7 +149,7 @@ struct OwnedVertex {
 const OWNED_BASE_WORDS: usize = 4;
 
 /// Coordinator-only state (machine 0).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CoordState {
     level: u32,
     prev_active: Option<u64>,
@@ -178,7 +178,10 @@ impl CoordState {
     }
 }
 
-/// Full per-machine state.
+/// Full per-machine state. `Clone` is the snapshot operation of the
+/// crash-recovery engine ([`mpc_sim::checkpoint`]): checkpoints clone the
+/// state, and replay restores the clone.
+#[derive(Clone)]
 struct MachineState {
     home_edges: Vec<HomeEdge>,
     /// vertex id → indices into `home_edges` (static).
@@ -291,7 +294,9 @@ pub fn recommended_cluster(wg: &WeightedGraph, config: &RoundCompressConfig) -> 
     let input_words = 7 * e + 4 * n;
     let m0 = parts_for(e, budget_e);
     let machines = (8 * input_words).div_ceil(s).max(m0).max(2);
-    MpcConfig::new(machines, s).with_scheduler(config.scheduler)
+    MpcConfig::new(machines, s)
+        .with_scheduler(config.scheduler)
+        .with_faults(config.faults)
 }
 
 /// Output of one complete local solve (a part's induced instance, or the
@@ -379,11 +384,27 @@ fn solve_instance(
 /// Panics (in strict enforcement) if any machine exceeds its memory or
 /// per-round traffic budget; use [`recommended_cluster`] for a sizing that
 /// stays within the model, or an audited config to measure violations.
+/// Also panics on an unrecoverable injected fault — fault-tolerant callers
+/// should use [`try_run_roundcompress`] instead.
 pub fn run_roundcompress(
     wg: &WeightedGraph,
     config: &RoundCompressConfig,
     cluster_cfg: MpcConfig,
 ) -> RoundCompressOutcome {
+    try_run_roundcompress(wg, config, cluster_cfg)
+        .unwrap_or_else(|e| panic!("unrecoverable cluster fault: {e}"))
+}
+
+/// Fault-tolerant form of [`run_roundcompress`]: identical execution, but
+/// unrecoverable injected faults surface as a typed
+/// [`mpc_sim::ClusterError`] instead of panicking. Under any *handled*
+/// fault plan the outcome's gated fields (cover, certificate, model
+/// costs) are bit-identical to the fault-free run.
+pub fn try_run_roundcompress(
+    wg: &WeightedGraph,
+    config: &RoundCompressConfig,
+    cluster_cfg: MpcConfig,
+) -> Result<RoundCompressOutcome, mpc_sim::ClusterError> {
     config.validate();
     let n = wg.num_vertices();
     let eidx = EdgeIndex::build(&wg.graph);
@@ -438,7 +459,7 @@ pub fn run_roundcompress(
     };
 
     // ── Startup: homes announce themselves to every endpoint's owner.
-    cluster.round("subscribe", move |ctx, st, _inbox| {
+    cluster.try_round("subscribe", move |ctx, st, _inbox| {
         let mut endpoints: BTreeSet<u32> = BTreeSet::new();
         for e in &st.home_edges {
             endpoints.insert(e.u);
@@ -454,7 +475,7 @@ pub fn run_roundcompress(
                 },
             );
         }
-    });
+    })?;
 
     let cfg = *config;
     loop {
@@ -535,7 +556,7 @@ pub fn run_roundcompress(
                 ctx.broadcast(Msg::Plan(PlanMsg { level, kind }));
             },
         ));
-        cluster.run_segment(seg);
+        cluster.try_run_segment(seg)?;
 
         let decision = cluster
             .state(0)
@@ -545,9 +566,9 @@ pub fn run_roundcompress(
             .expect("coordinator always decides");
 
         match decision {
-            PlanKind::RunLevel { .. } => run_level_rounds(&mut cluster, &cfg),
+            PlanKind::RunLevel { .. } => run_level_rounds(&mut cluster, &cfg)?,
             PlanKind::Finish => {
-                run_final_rounds(&mut cluster, &cfg);
+                run_final_rounds(&mut cluster, &cfg)?;
                 break;
             }
         }
@@ -611,7 +632,7 @@ pub fn run_roundcompress(
             edge_x[geid as usize] = x;
         }
     }
-    RoundCompressOutcome {
+    Ok(RoundCompressOutcome {
         cover: VertexCover::from_membership(membership),
         certificate: DualCertificate::new(edge_x),
         levels,
@@ -621,11 +642,14 @@ pub fn run_roundcompress(
         trace,
         round_wall,
         host_phases,
-    }
+    })
 }
 
 /// The four level rounds after `plan`.
-fn run_level_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompressConfig) {
+fn run_level_rounds(
+    cluster: &mut Cluster<MachineState, Msg>,
+    cfg: &RoundCompressConfig,
+) -> Result<(), mpc_sim::ClusterError> {
     let cfg = *cfg;
     let mut seg: Vec<SegmentRound<MachineState, Msg>> = Vec::new();
 
@@ -806,11 +830,14 @@ fn run_level_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
         },
     ));
 
-    cluster.run_segment(seg);
+    cluster.try_run_segment(seg)
 }
 
 /// The three closing rounds after a `Finish` plan.
-fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompressConfig) {
+fn run_final_rounds(
+    cluster: &mut Cluster<MachineState, Msg>,
+    cfg: &RoundCompressConfig,
+) -> Result<(), mpc_sim::ClusterError> {
     let cfg = *cfg;
     let mut seg: Vec<SegmentRound<MachineState, Msg>> = Vec::new();
 
@@ -915,7 +942,7 @@ fn run_final_rounds(cluster: &mut Cluster<MachineState, Msg>, cfg: &RoundCompres
         },
     ));
 
-    cluster.run_segment(seg);
+    cluster.try_run_segment(seg)
 }
 
 /// The round-compression algorithm behind the shared
@@ -941,7 +968,19 @@ impl Executor for RoundCompressExecutor {
     fn run(&self, wg: &WeightedGraph) -> ExecutorOutcome {
         let cluster = recommended_cluster(wg, &self.config);
         let out = run_roundcompress(wg, &self.config, cluster);
-        let cost = out.cost_report(&cluster);
+        Self::package(out, &cluster)
+    }
+
+    fn try_run(&self, wg: &WeightedGraph) -> Result<ExecutorOutcome, mpc_sim::ClusterError> {
+        let cluster = recommended_cluster(wg, &self.config);
+        let out = try_run_roundcompress(wg, &self.config, cluster)?;
+        Ok(Self::package(out, &cluster))
+    }
+}
+
+impl RoundCompressExecutor {
+    fn package(out: RoundCompressOutcome, cluster: &MpcConfig) -> ExecutorOutcome {
+        let cost = out.cost_report(cluster);
         ExecutorOutcome {
             solution: CoverCertificate::new(out.cover, out.certificate),
             cost,

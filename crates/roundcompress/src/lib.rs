@@ -49,6 +49,6 @@ pub mod executor;
 
 pub use config::{level_seed, parts_for, BudgetRule, LocalSolver, RoundCompressConfig};
 pub use executor::{
-    recommended_cluster, round_cost, run_roundcompress, LevelStats, RoundCompressExecutor,
-    RoundCompressOutcome,
+    recommended_cluster, round_cost, run_roundcompress, try_run_roundcompress, LevelStats,
+    RoundCompressExecutor, RoundCompressOutcome,
 };

@@ -37,10 +37,19 @@
 //!    `vec![`, `Vec::new(`, `Box::new(`, `.clone()`): instrumentation on
 //!    the hot paths carries `&'static` metadata and integer fields only,
 //!    and anything richer goes through the preallocated event rings.
+//! 8. **`io-unwrap`** — the recovery-critical modules
+//!    (`crates/mpc/src/spill.rs`, `crates/mpc/src/checkpoint.rs`,
+//!    `crates/graph/src/outofcore.rs`) must not use `.unwrap(` /
+//!    `.expect(` outside the entries of
+//!    `tools/lint/io_unwrap_allow.txt`: an I/O failure on these paths is
+//!    a *handled fault* (typed `ClusterError` / `Err(String)`), never a
+//!    panic. The allowlist carries only infallible conversions (e.g.
+//!    fixed-width `try_into().unwrap()` on header slices).
 //!
-//! Inline `#[cfg(test)]` modules are exempt from rules 3–4 (tests may
-//! allocate and may use `std::sync`); rule 1 applies there too, matching
-//! `clippy::undocumented_unsafe_blocks` which this rule backstops.
+//! Inline `#[cfg(test)]` modules are exempt from rules 3–4 and 8 (tests
+//! may allocate, may use `std::sync`, and assert with `unwrap`); rule 1
+//! applies there too, matching `clippy::undocumented_unsafe_blocks`
+//! which this rule backstops.
 //!
 //! The scanner walks `crates/` and `vendor/` under the given root;
 //! `tools/` is configuration and fixtures, not a lint target.
@@ -54,6 +63,10 @@ use std::path::{Path, PathBuf};
 /// The allowlist consulted by [`Rule::PinnedAlloc`], relative to the
 /// lint root.
 pub const ALLOWLIST_PATH: &str = "tools/lint/zero_alloc_allow.txt";
+
+/// The allowlist consulted by [`Rule::IoUnwrap`], relative to the lint
+/// root.
+pub const IO_ALLOWLIST_PATH: &str = "tools/lint/io_unwrap_allow.txt";
 
 /// Files that must carry `#![deny(unsafe_op_in_unsafe_fn)]`.
 const DENY_ATTR_FILES: &[&str] = &["crates/mpc/src/lib.rs", "vendor/rayon/src/lib.rs"];
@@ -74,6 +87,17 @@ const PINNED_ALLOC_FILES: &[&str] = &[
 
 /// Allocation constructs banned in pinned modules.
 const BANNED_ALLOC: &[&str] = &["Vec::new(", "Box::new(", "vec![", ".clone()"];
+
+/// Recovery-critical modules: every I/O failure must flow out as a typed
+/// error, so panicking result-taps are banned ([`Rule::IoUnwrap`]).
+const IO_UNWRAP_FILES: &[&str] = &[
+    "crates/mpc/src/spill.rs",
+    "crates/mpc/src/checkpoint.rs",
+    "crates/graph/src/outofcore.rs",
+];
+
+/// Panicking result-taps banned in recovery-critical modules.
+const BANNED_IO_UNWRAP: &[&str] = &[".unwrap(", ".expect("];
 
 /// Allocating constructs banned *inside* `span!`/`event!` invocations in
 /// pinned modules ([`Rule::TraceAlloc`]) — a superset of [`BANNED_ALLOC`]
@@ -100,6 +124,7 @@ pub enum Rule {
     StaleAllow,
     MsgSizeAssert,
     TraceAlloc,
+    IoUnwrap,
 }
 
 impl Rule {
@@ -112,6 +137,7 @@ impl Rule {
             Rule::StaleAllow => "stale-allow",
             Rule::MsgSizeAssert => "msg-size-assert",
             Rule::TraceAlloc => "trace-alloc",
+            Rule::IoUnwrap => "io-unwrap",
         }
     }
 }
@@ -147,11 +173,18 @@ impl fmt::Display for Violation {
 /// (empty = gate passes). Errors only on I/O failure.
 pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
     let mut violations = Vec::new();
-    let mut allowlist = load_allowlist(root)?;
+    let mut allowlist = load_allowlist(root, ALLOWLIST_PATH)?;
+    let mut io_allowlist = load_allowlist(root, IO_ALLOWLIST_PATH)?;
 
     for rel in collect_rust_files(root)? {
         let text = fs::read_to_string(root.join(&rel))?;
-        lint_file(&rel, &text, &mut allowlist, &mut violations);
+        lint_file(
+            &rel,
+            &text,
+            &mut allowlist,
+            &mut io_allowlist,
+            &mut violations,
+        );
     }
 
     for required in DENY_ATTR_FILES {
@@ -170,17 +203,22 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
 
-    for (entry, used) in &allowlist {
-        if !used {
-            violations.push(Violation {
-                file: ALLOWLIST_PATH.into(),
-                line: 0,
-                rule: Rule::StaleAllow,
-                message: format!(
-                    "stale allowlist entry (no matching line): `{}: {}`",
-                    entry.0, entry.1
-                ),
-            });
+    for (list, path) in [
+        (&allowlist, ALLOWLIST_PATH),
+        (&io_allowlist, IO_ALLOWLIST_PATH),
+    ] {
+        for (entry, used) in list {
+            if !used {
+                violations.push(Violation {
+                    file: path.into(),
+                    line: 0,
+                    rule: Rule::StaleAllow,
+                    message: format!(
+                        "stale allowlist entry (no matching line): `{}: {}`",
+                        entry.0, entry.1
+                    ),
+                });
+            }
         }
     }
 
@@ -192,8 +230,8 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
 /// to whether a matching line was seen during the scan.
 type Allowlist = BTreeMap<(String, String), bool>;
 
-fn load_allowlist(root: &Path) -> io::Result<Allowlist> {
-    let path = root.join(ALLOWLIST_PATH);
+fn load_allowlist(root: &Path, rel_path: &str) -> io::Result<Allowlist> {
+    let path = root.join(rel_path);
     let mut entries = BTreeMap::new();
     if !path.is_file() {
         return Ok(entries);
@@ -255,7 +293,13 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-fn lint_file(rel: &str, text: &str, allowlist: &mut Allowlist, out: &mut Vec<Violation>) {
+fn lint_file(
+    rel: &str,
+    text: &str,
+    allowlist: &mut Allowlist,
+    io_allowlist: &mut Allowlist,
+    out: &mut Vec<Violation>,
+) {
     let lines: Vec<&str> = text.lines().collect();
     // Paren depth of an open `span!(`/`event!(` invocation carried across
     // lines (rule 7); 0 = not inside a trace call.
@@ -270,6 +314,7 @@ fn lint_file(rel: &str, text: &str, allowlist: &mut Allowlist, out: &mut Vec<Vio
 
     let sync_pinned = SYNC_FACADE_FILES.contains(&rel);
     let alloc_pinned = PINNED_ALLOC_FILES.contains(&rel);
+    let io_pinned = IO_UNWRAP_FILES.contains(&rel);
 
     let mut declares_msg_enum = None;
     for (i, line) in lines.iter().enumerate() {
@@ -362,6 +407,29 @@ fn lint_file(rel: &str, text: &str, allowlist: &mut Allowlist, out: &mut Vec<Vio
                         message: format!(
                             "`{pat}` in a zero-allocation-pinned module; move it off the \
                              steady-state path or allowlist the exact line in {ALLOWLIST_PATH}"
+                        ),
+                    });
+                }
+                break;
+            }
+        }
+
+        if io_pinned {
+            for pat in BANNED_IO_UNWRAP {
+                if !line.contains(pat) {
+                    continue;
+                }
+                let key = (rel.to_string(), trimmed.to_string());
+                if let Some(used) = io_allowlist.get_mut(&key) {
+                    *used = true;
+                } else {
+                    out.push(Violation {
+                        file: rel.into(),
+                        line: lineno,
+                        rule: Rule::IoUnwrap,
+                        message: format!(
+                            "`{pat}` in a recovery-critical module; surface the failure as \
+                             a typed error or allowlist the exact line in {IO_ALLOWLIST_PATH}"
                         ),
                     });
                 }

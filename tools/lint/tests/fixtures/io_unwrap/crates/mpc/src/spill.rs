@@ -1,0 +1,23 @@
+//! Fixture: panicking result-taps in a recovery-critical module. The
+//! `.unwrap()` and `.expect(...)` on I/O results fire; the allowlisted
+//! infallible conversion and the test module do not.
+
+use std::io::Write;
+
+pub fn spill_hot_path(buf: &mut Vec<u8>) -> u32 {
+    buf.write_all(&[1, 2, 3]).unwrap();
+    buf.flush().expect("flush spill buffer");
+    u32::from_le_bytes(buf[0..4].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may assert with unwrap freely: not flagged.
+    #[test]
+    fn tests_are_exempt() {
+        let mut buf = Vec::new();
+        super::spill_hot_path(&mut buf);
+        assert_eq!(buf.len(), 3);
+        "7".parse::<u32>().unwrap();
+    }
+}

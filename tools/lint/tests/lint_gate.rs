@@ -134,6 +134,24 @@ fn stale_allowlist_entry_fires() {
 }
 
 #[test]
+fn io_unwrap_fires_with_exact_line_allowlist() {
+    let violations = assert_fires("io_unwrap", Rule::IoUnwrap, "crates/mpc/src/spill.rs");
+    let lines: Vec<usize> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::IoUnwrap)
+        .map(|v| v.line)
+        .collect();
+    // The `.unwrap()` and `.expect(` on I/O results fire; the
+    // allowlisted infallible conversion and the test module are exempt —
+    // and the allowlist entry is in use, so `stale-allow` stays quiet.
+    assert_eq!(lines, vec![8, 9], "got: {violations:?}");
+    assert!(
+        violations.iter().all(|v| v.rule != Rule::StaleAllow),
+        "the consumed allowlist entry must not be reported stale: {violations:?}"
+    );
+}
+
+#[test]
 fn missing_msg_size_assert_fires() {
     assert_fires(
         "missing_size_assert",
